@@ -1,0 +1,25 @@
+// Reproduces the Section 6 capacity claim: with the paper's small test
+// batteries ~70% of the charge is stranded at death, but scaling the
+// capacity 10x drops the best-of-two residual below 10%.
+#include <cstdio>
+
+#include "exp/experiments.hpp"
+#include "exp/report.hpp"
+
+int main() {
+  using namespace bsched;
+  std::printf(
+      "=== Section 6: residual charge vs battery capacity ===\n"
+      "Two batteries under ILs alt, best-of-two scheduling, continuous "
+      "KiBaM.\nPaper: ~70%% residual at C = 5.5 Amin; < 10%% at ten times "
+      "the capacity.\n\n");
+  const auto points =
+      exp::residual_sweep({0.5, 1.0, 2.0, 4.0, 10.0, 20.0});
+  std::fputs(exp::residual_report(points).str().c_str(), stdout);
+
+  std::printf(
+      "\nThe stranded fraction shrinks because larger capacities draw the "
+      "same\ncurrent for longer, giving the bound charge well time to "
+      "drain (the\nrate-capacity effect weakens relative to C).\n");
+  return 0;
+}

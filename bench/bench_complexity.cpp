@@ -1,0 +1,75 @@
+// Reproduces the Section 4.4 complexity discussion: the cost of finding
+// the optimal schedule grows exponentially in the number of scheduling
+// decisions with the battery count as the base, while the per-segment
+// state count scales with the discretization granularity (~N and ~1/Gamma).
+#include <cstdio>
+
+#include "kibam/discrete.hpp"
+#include "load/jobs.hpp"
+#include "opt/search.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace bsched;
+  std::printf(
+      "=== Section 4.4: optimal-search complexity ===\n"
+      "Decision nodes expanded by the exact search (with symmetry "
+      "reduction,\nmemoisation and the drain bound).\n\n");
+
+  // (a) Growth with the number of batteries (base of the exponent).
+  {
+    std::printf("--- scaling in the battery count (CL alt, C = 2.0) ---\n");
+    const kibam::discretization d{kibam::itsy_battery(2.0)};
+    const load::trace t = load::paper_trace(load::test_load::cl_alt);
+    text_table table{{"batteries", "lifetime (min)", "nodes", "memo entries",
+                      "pruned"}};
+    for (const std::size_t count : {1u, 2u, 3u, 4u}) {
+      const opt::optimal_result r = opt::optimal_schedule(d, count, t);
+      table.row({std::to_string(count),
+                 std::to_string(r.lifetime_min).substr(0, 5),
+                 std::to_string(r.stats.nodes),
+                 std::to_string(r.stats.memo_entries),
+                 std::to_string(r.stats.pruned)});
+    }
+    std::fputs(table.str().c_str(), stdout);
+  }
+
+  // (b) Growth with the discretization granularity N = C / Gamma.
+  {
+    std::printf(
+        "\n--- scaling in the granularity (ILs alt, 2 batteries) ---\n");
+    text_table table{{"Gamma (Amin)", "N", "lifetime (min)", "nodes",
+                      "memo entries"}};
+    for (const double gamma : {0.05, 0.02, 0.01}) {
+      const kibam::discretization d{kibam::battery_b1(), {0.01, gamma}};
+      const load::trace t = load::paper_trace(load::test_load::ils_alt);
+      const opt::optimal_result r = opt::optimal_schedule(d, 2, t);
+      char g[16];
+      std::snprintf(g, sizeof g, "%.2f", gamma);
+      table.row({g, std::to_string(d.total_units()),
+                 std::to_string(r.lifetime_min).substr(0, 5),
+                 std::to_string(r.stats.nodes),
+                 std::to_string(r.stats.memo_entries)});
+    }
+    std::fputs(table.str().c_str(), stdout);
+  }
+
+  // (c) Effect of the admissible drain bound.
+  {
+    std::printf("\n--- pruning ablation (ILs alt, 2 x B1) ---\n");
+    const kibam::discretization d{kibam::battery_b1()};
+    const load::trace t = load::paper_trace(load::test_load::ils_alt);
+    text_table table{{"drain bound", "lifetime (min)", "nodes", "pruned"}};
+    for (const bool prune : {false, true}) {
+      opt::search_options opts;
+      opts.prune = prune;
+      const opt::optimal_result r = opt::optimal_schedule(d, 2, t, opts);
+      table.row({prune ? "on" : "off",
+                 std::to_string(r.lifetime_min).substr(0, 5),
+                 std::to_string(r.stats.nodes),
+                 std::to_string(r.stats.pruned)});
+    }
+    std::fputs(table.str().c_str(), stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Discretization ablation (Section 5's error discussion): dKiBaM lifetime
+// error against the analytic KiBaM as the charge/time grid is refined,
+// for a continuous and an intermittent load.
+#include <cstdio>
+
+#include "exp/experiments.hpp"
+#include "exp/report.hpp"
+
+int main() {
+  using namespace bsched;
+  std::printf(
+      "=== Discretization ablation: dKiBaM error vs grid ===\n"
+      "The paper uses T = 0.01 min and Gamma = 0.01 Amin and reports "
+      "errors up to ~1%%.\n\n");
+  const std::vector<load::step_sizes> grids = {
+      {0.01, 0.005}, {0.01, 0.01}, {0.01, 0.02}, {0.01, 0.05},
+      {0.02, 0.1},   {0.05, 0.1},
+  };
+  for (const load::test_load l :
+       {load::test_load::cl_250, load::test_load::ils_alt}) {
+    std::printf("--- load %s, battery B1 ---\n", load::name(l).c_str());
+    const auto points =
+        exp::discretization_sweep(kibam::battery_b1(), l, grids);
+    std::fputs(exp::ablation_report(points).str().c_str(), stdout);
+    std::printf("\n");
+  }
+  return 0;
+}

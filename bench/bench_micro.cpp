@@ -1,0 +1,110 @@
+// Engine microbenchmarks (google-benchmark): the hot paths underneath the
+// paper experiments — analytic segment advance, dKiBaM stepping, policy
+// simulation, the optimal search, DBM closure and PTA successor generation.
+#include <benchmark/benchmark.h>
+
+#include "kibam/discrete.hpp"
+#include "kibam/kibam.hpp"
+#include "load/jobs.hpp"
+#include "opt/search.hpp"
+#include "pta/dbm.hpp"
+#include "pta/semantics.hpp"
+#include "sched/policy.hpp"
+#include "sched/simulator.hpp"
+#include "takibam/network.hpp"
+
+namespace {
+
+using namespace bsched;
+
+void bm_analytic_advance(benchmark::State& state) {
+  const kibam::battery_parameters p = kibam::battery_b1();
+  kibam::state s = kibam::full(p);
+  for (auto _ : state) {
+    s = kibam::advance(p, s, 0.25, 0.01);
+    if (s.gamma < 1.0) s = kibam::full(p);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(bm_analytic_advance);
+
+void bm_analytic_lifetime(benchmark::State& state) {
+  const kibam::battery_parameters p = kibam::battery_b1();
+  const load::trace t = load::paper_trace(load::test_load::ils_alt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kibam::lifetime(p, t));
+  }
+}
+BENCHMARK(bm_analytic_lifetime);
+
+void bm_discrete_step(benchmark::State& state) {
+  const kibam::discretization d{kibam::battery_b1()};
+  kibam::discrete_state s = kibam::full_discrete(d);
+  const load::draw_rate rate{1, 4};
+  for (auto _ : state) {
+    if (kibam::step(d, s, rate) == kibam::step_event::died) {
+      s = kibam::full_discrete(d);
+    }
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(bm_discrete_step);
+
+void bm_discrete_lifetime(benchmark::State& state) {
+  const kibam::discretization d{kibam::battery_b1()};
+  const load::trace t = load::paper_trace(load::test_load::ils_alt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kibam::discrete_lifetime(d, t));
+  }
+}
+BENCHMARK(bm_discrete_lifetime);
+
+void bm_simulate_best_of_two(benchmark::State& state) {
+  const kibam::discretization d{kibam::battery_b1()};
+  const load::trace t = load::paper_trace(load::test_load::ils_alt);
+  const auto pol = sched::best_of_n();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sched::simulate_discrete(d, 2, t, *pol).lifetime_min);
+  }
+}
+BENCHMARK(bm_simulate_best_of_two);
+
+void bm_optimal_search(benchmark::State& state) {
+  const kibam::discretization d{kibam::battery_b1()};
+  const load::trace t = load::paper_trace(load::test_load::cl_alt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        opt::optimal_schedule(d, 2, t).lifetime_min);
+  }
+}
+BENCHMARK(bm_optimal_search);
+
+void bm_dbm_canonicalize(benchmark::State& state) {
+  const auto clocks = static_cast<std::size_t>(state.range(0));
+  pta::dbm z = pta::dbm::universal(clocks);
+  for (std::size_t i = 1; i <= clocks; ++i) {
+    z.constrain(i, 0, pta::dbm_bound::le(static_cast<std::int32_t>(i * 7)));
+  }
+  for (auto _ : state) {
+    pta::dbm copy = z;
+    benchmark::DoNotOptimize(copy.canonicalize());
+  }
+}
+BENCHMARK(bm_dbm_canonicalize)->Arg(4)->Arg(8)->Arg(16);
+
+void bm_ta_successors(benchmark::State& state) {
+  const kibam::discretization d{kibam::battery_b1()};
+  const load::trace t = load::paper_trace(load::test_load::cl_500);
+  const takibam::model m = takibam::build(d, t, 2);
+  const pta::semantics sem{m.net};
+  const pta::dstate init = sem.initial();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sem.successors(init));
+  }
+}
+BENCHMARK(bm_ta_successors);
+
+}  // namespace
+
+BENCHMARK_MAIN();

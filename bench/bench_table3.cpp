@@ -1,0 +1,9 @@
+// Reproduces Table 3: battery B1 (5.5 A*min) under the ten test loads.
+#include "validation_bench.hpp"
+
+int main() {
+  bsched::bench::run_validation_bench(
+      "=== Table 3: battery B1 (C = 5.5 Amin, c = 0.166, k' = 0.122/min) ===",
+      bsched::kibam::battery_b1(), bsched::bench::table3);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Reproduces Table 4: battery B2 (11 A*min) under the ten test loads.
+#include "validation_bench.hpp"
+
+int main() {
+  bsched::bench::run_validation_bench(
+      "=== Table 4: battery B2 (C = 11 Amin, c = 0.166, k' = 0.122/min) ===",
+      bsched::kibam::battery_b2(), bsched::bench::table4);
+  return 0;
+}

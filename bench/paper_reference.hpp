@@ -1,0 +1,67 @@
+// The values printed in the paper's tables, used by the benches to show
+// published-vs-reproduced columns side by side.
+#pragma once
+
+#include <cstddef>
+
+#include "load/jobs.hpp"
+
+namespace bsched::bench {
+
+struct table34_ref {
+  load::test_load load;
+  double kibam_min;     ///< analytic KiBaM column
+  double ta_kibam_min;  ///< TA-KiBaM column
+};
+
+/// Table 3 (battery B1).
+inline constexpr table34_ref table3[] = {
+    {load::test_load::cl_250, 4.53, 4.56},
+    {load::test_load::cl_500, 2.02, 2.04},
+    {load::test_load::cl_alt, 2.58, 2.60},
+    {load::test_load::ils_250, 10.80, 10.84},
+    {load::test_load::ils_500, 4.30, 4.32},
+    {load::test_load::ils_alt, 4.80, 4.82},
+    {load::test_load::ils_r1, 4.72, 4.74},
+    {load::test_load::ils_r2, 4.72, 4.74},
+    {load::test_load::ill_250, 21.86, 21.88},
+    {load::test_load::ill_500, 6.53, 6.56},
+};
+
+/// Table 4 (battery B2).
+inline constexpr table34_ref table4[] = {
+    {load::test_load::cl_250, 12.16, 12.28},
+    {load::test_load::cl_500, 4.53, 4.54},
+    {load::test_load::cl_alt, 6.45, 6.52},
+    {load::test_load::ils_250, 44.78, 44.80},
+    {load::test_load::ils_500, 10.80, 10.84},
+    {load::test_load::ils_alt, 16.93, 16.94},
+    {load::test_load::ils_r1, 22.71, 22.74},
+    {load::test_load::ils_r2, 14.81, 14.84},
+    {load::test_load::ill_250, 84.90, 84.92},
+    {load::test_load::ill_500, 21.86, 21.88},
+};
+
+struct table5_ref {
+  load::test_load load;
+  double sequential;
+  double round_robin;
+  double best_of_two;
+  double optimal;
+};
+
+/// Table 5 (two B1 batteries).
+inline constexpr table5_ref table5[] = {
+    {load::test_load::cl_250, 9.12, 11.60, 11.60, 12.04},
+    {load::test_load::cl_500, 4.10, 4.53, 4.53, 4.58},
+    {load::test_load::cl_alt, 5.48, 6.10, 6.12, 6.48},
+    {load::test_load::ils_250, 22.80, 38.96, 38.96, 40.80},
+    {load::test_load::ils_500, 8.60, 10.48, 10.48, 10.48},
+    {load::test_load::ils_alt, 12.38, 12.82, 16.30, 16.91},
+    {load::test_load::ils_r1, 12.80, 16.26, 16.26, 20.52},
+    {load::test_load::ils_r2, 12.24, 14.50, 14.50, 14.54},
+    {load::test_load::ill_250, 45.84, 76.00, 76.00, 78.96},
+    {load::test_load::ill_500, 12.94, 15.96, 15.96, 18.68},
+};
+
+}  // namespace bsched::bench

@@ -1,0 +1,49 @@
+// Shared driver for the Table 3 / Table 4 benches: computes the analytic
+// KiBaM, the dKiBaM stepper and the TA-KiBaM (PTA engine) lifetime for
+// every test load and prints them next to the published columns.
+#pragma once
+
+#include <cstdio>
+#include <span>
+
+#include "paper_reference.hpp"
+#include "kibam/discrete.hpp"
+#include "takibam/runner.hpp"
+#include "util/table.hpp"
+
+namespace bsched::bench {
+
+inline void run_validation_bench(const char* title,
+                                 const kibam::battery_parameters& battery,
+                                 std::span<const table34_ref> reference) {
+  std::printf("%s\n", title);
+  std::printf(
+      "Single-battery lifetimes (minutes): analytic KiBaM vs the "
+      "discretized model,\nboth as published and as reproduced; "
+      "'TA engine' runs the full timed-automata\nnetwork through "
+      "min-cost reachability.\n\n");
+
+  const kibam::discretization disc{battery};
+  text_table table{{"test load", "KiBaM paper", "KiBaM ours", "dKiBaM paper",
+                    "dKiBaM ours", "TA engine", "diff %"}};
+  for (const table34_ref& ref : reference) {
+    const load::trace trace = load::paper_trace(ref.load);
+    const double analytic = kibam::lifetime(battery, trace);
+    const double discrete = kibam::discrete_lifetime(disc, trace);
+    const double ta = takibam::analyze(disc, trace, 1).lifetime_min;
+    const double diff = 100.0 * (discrete - analytic) / analytic;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f%%", diff < 0 ? -diff : diff);
+    const auto fmt = [](double v) {
+      char b[32];
+      std::snprintf(b, sizeof b, "%.2f", v);
+      return std::string{b};
+    };
+    table.row({load::name(ref.load), fmt(ref.kibam_min), fmt(analytic),
+               fmt(ref.ta_kibam_min), fmt(discrete), fmt(ta), buf});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf("\n");
+}
+
+}  // namespace bsched::bench

@@ -1,0 +1,76 @@
+// Dual-battery scheduling: compare every scheduling policy on one of the
+// paper's test loads (default: ILs alt, where the choice matters most).
+//
+//   $ ./dual_battery [load-name] [battery-count]
+//   $ ./dual_battery "ILs alt" 3
+//
+// Prints the lifetime per policy and the schedule the best policy chose.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "kibam/discrete.hpp"
+#include "load/jobs.hpp"
+#include "sched/policy.hpp"
+#include "sched/simulator.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+bsched::load::test_load parse_load(const std::string& name) {
+  using bsched::load::test_load;
+  for (const test_load l : bsched::load::all_test_loads()) {
+    if (bsched::load::name(l) == name) return l;
+  }
+  std::fprintf(stderr, "unknown load '%s'; using ILs alt\n", name.c_str());
+  return test_load::ils_alt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bsched;
+  const load::test_load which =
+      argc > 1 ? parse_load(argv[1]) : load::test_load::ils_alt;
+  const std::size_t batteries =
+      argc > 2 ? static_cast<std::size_t>(std::stoul(argv[2])) : 2;
+
+  const kibam::discretization disc{kibam::battery_b1()};
+  const load::trace trace = load::paper_trace(which);
+  std::printf("load %s on %zu x B1 batteries\n\n",
+              load::name(which).c_str(), batteries);
+
+  std::vector<std::unique_ptr<sched::policy>> policies;
+  policies.push_back(sched::sequential());
+  policies.push_back(sched::round_robin());
+  policies.push_back(sched::best_of_n());
+  policies.push_back(sched::random_choice(2009));
+
+  text_table table{{"policy", "lifetime (min)", "residual (Amin)",
+                    "decisions"}};
+  double best_lifetime = 0;
+  std::vector<sched::decision> best_decisions;
+  std::string best_name;
+  for (const auto& pol : policies) {
+    const sched::sim_result r =
+        sched::simulate_discrete(disc, batteries, trace, *pol);
+    char lt[32], res[32];
+    std::snprintf(lt, sizeof lt, "%.2f", r.lifetime_min);
+    std::snprintf(res, sizeof res, "%.2f", r.residual_amin);
+    table.row({pol->name(), lt, res, std::to_string(r.decisions.size())});
+    if (r.lifetime_min > best_lifetime) {
+      best_lifetime = r.lifetime_min;
+      best_decisions = r.decisions;
+      best_name = pol->name();
+    }
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  std::printf("\nschedule chosen by '%s':\n", best_name.c_str());
+  for (const sched::decision& d : best_decisions) {
+    std::printf("  t=%6.2f  job %zu -> battery %zu%s\n", d.time_min,
+                d.job_index + 1, d.battery + 1,
+                d.handover ? "  (hand-over: predecessor died)" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// The lamp of Section 3, built on the bsched::pta engine: a network of two
+// timed automata (lamp + user) with a binary channel, invariants, cost
+// rates and a cost update — the same ingredients the TA-KiBaM uses.
+//
+//   $ ./lamp_pta
+//
+// Computes the cheapest way to have shone brightly and be off again, and
+// shows the witness run (cf. Figure 4 of the paper).
+#include <cstdio>
+
+#include "pta/mcr.hpp"
+#include "pta/model.hpp"
+#include "pta/zonegraph.hpp"
+
+int main() {
+  using namespace bsched::pta;
+
+  network net;
+  const clock_id y = net.add_clock("y", 11);
+  const chan_id press = net.add_channel("press");
+  const var_ref brights = net.add_var("brights", 0);
+
+  const automaton_id lamp_id = net.add_automaton("lamp");
+  automaton& lamp = net.at(lamp_id);
+  const loc_id off = lamp.add_location({"off", false, {}, {}});
+  // Burning costs energy: rate 10 in low, 20 in bright (Figure 4), and
+  // the lamp switches itself off after 10 time units (Figure 3).
+  const loc_id low = lamp.add_location(
+      {"low", false, {clock_constraint{y, cmp::le, lit(10)}}, lit(10)});
+  const loc_id bright = lamp.add_location(
+      {"bright", false, {clock_constraint{y, cmp::le, lit(10)}}, lit(20)});
+  lamp.set_initial(off);
+  lamp.add_edge({off, low, {}, {}, press, sync_dir::receive, {}, {y}, {},
+                 lit(50)});  // switching on costs 50
+  lamp.add_edge({low, bright, {clock_constraint{y, cmp::lt, lit(5)}}, {},
+                 press, sync_dir::receive,
+                 {{brights.lv(), expr{brights} + lit(1)}}, {}, {}, {}});
+  lamp.add_edge({low, off, {clock_constraint{y, cmp::ge, lit(5)}}, {},
+                 press, sync_dir::receive, {}, {}, {}, {}});
+  lamp.add_edge({low, off, {clock_constraint{y, cmp::ge, lit(10)}}, {},
+                 npos, sync_dir::none, {}, {}, {}, {}});
+  lamp.add_edge({bright, off, {clock_constraint{y, cmp::ge, lit(10)}}, {},
+                 npos, sync_dir::none, {}, {}, {}, {}});
+
+  const automaton_id user_id = net.add_automaton("user");
+  automaton& user = net.at(user_id);
+  const loc_id idle = user.add_location({"idle", false, {}, {}});
+  user.set_initial(idle);
+  user.add_edge({idle, idle, {}, {}, press, sync_dir::send, {}, {}, {}, {}});
+
+  // Dense-time sanity check first: bright is reachable at all.
+  const zg_result dense = symbolic_reach(
+      net, [&](std::span<const std::uint32_t> locs,
+               std::span<const std::int64_t>) {
+        return locs[lamp_id] == bright;
+      });
+  std::printf("dense-time reachability of 'bright': %s (%llu zones)\n",
+              dense.reachable ? "yes" : "no",
+              static_cast<unsigned long long>(dense.stored));
+
+  // Cost-optimal schedule: shine brightly once, end with the lamp off.
+  const semantics sem{net};
+  const std::size_t brights_slot = brights.slot;
+  const auto result = min_cost_reach(sem, [=](const dstate& s) {
+    return s.locations[lamp_id] == off && s.vars[brights_slot] >= 1;
+  });
+  if (!result) {
+    std::printf("goal unreachable\n");
+    return 1;
+  }
+  std::printf(
+      "cheapest 'shone brightly and off again': cost %lld in %lld time "
+      "units\n",
+      static_cast<long long>(result->cost),
+      static_cast<long long>(result->elapsed_steps));
+  std::printf("witness run (the energy-optimal usage pattern):\n");
+  for (const trace_step& step : result->trace) {
+    std::printf("  %-55s +%lld time, +%lld cost\n", step.description.c_str(),
+                static_cast<long long>(step.delay),
+                static_cast<long long>(step.cost));
+  }
+  std::printf(
+      "\nNote the shape: the optimum burns the mandatory waiting time in "
+      "the cheap\n'low' location (rate 10) and enters 'bright' (rate 20) "
+      "as late as the y < 5\nguard allows — the same \"schedule around "
+      "the expensive state\" structure the\nbattery scheduler exploits.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Sensor-node duty cycling — the paper's outlook (Section 7): "For a
+// device with one battery and a given workload, we want to know how to
+// schedule the jobs over time to optimize the battery lifetime."
+//
+// A sensor node runs 1-minute measurements at 250 mA and is free to choose
+// the idle gap between consecutive measurements. Longer gaps let the bound
+// charge refill the available well (recovery effect), so the node finishes
+// *more* measurements in total — but at a lower rate. This example sweeps
+// the gap and shows the trade-off a designer actually faces.
+//
+//   $ ./sensor_node
+#include <cstdio>
+
+#include "kibam/kibam.hpp"
+#include "load/trace.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace bsched;
+
+load::trace duty_cycle(double gap_min) {
+  std::vector<load::epoch> cycle;
+  cycle.push_back({1.0, 0.25});  // the measurement job
+  if (gap_min > 0) cycle.push_back({gap_min, 0.0});
+  return load::trace{std::move(cycle)};
+}
+
+}  // namespace
+
+int main() {
+  const kibam::battery_parameters battery = kibam::battery_b1();
+  std::printf(
+      "sensor node on one B1 battery: 1-min measurements at 250 mA with a\n"
+      "configurable idle gap. How should the node space its work?\n\n");
+
+  text_table table{{"gap (min)", "lifetime (min)", "measurements",
+                    "charge delivered (Amin)", "rate (jobs/h)"}};
+  int base_jobs = 0;
+  for (const double gap : {0.0, 1.0, 2.0, 4.0, 6.0, 8.0}) {
+    const load::trace t = duty_cycle(gap);
+    const double lifetime = kibam::lifetime(battery, t);
+    // Job k occupies [k (1+gap), k (1+gap) + 1); count completed ones.
+    const double period = 1.0 + gap;
+    int jobs = 0;
+    while (static_cast<double>(jobs) * period + 1.0 <= lifetime + 1e-9) {
+      ++jobs;
+    }
+    if (gap == 0.0) base_jobs = jobs;
+    char g[16], lt[16], q[16], rate[16];
+    std::snprintf(g, sizeof g, "%.0f", gap);
+    std::snprintf(lt, sizeof lt, "%.2f", lifetime);
+    std::snprintf(q, sizeof q, "%.2f", 0.25 * jobs);
+    std::snprintf(rate, sizeof rate, "%.1f", 60.0 * jobs / lifetime);
+    table.row({g, lt, std::to_string(jobs), q, rate});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf(
+      "\nBack-to-back measurements complete only %d jobs before the "
+      "available\ncharge well runs dry; spacing them out converts bound "
+      "charge into extra\nmeasurements — the recovery effect of Section 2 "
+      "— at the cost of rate.\nA deployment picks the smallest gap that "
+      "meets its measurement budget.\n",
+      base_jobs);
+  return 0;
+}

@@ -1,0 +1,135 @@
+#include "exp/experiments.hpp"
+
+#include <cmath>
+
+#include "opt/search.hpp"
+#include "sched/policy.hpp"
+#include "util/error.hpp"
+
+namespace bsched::exp {
+
+namespace {
+
+double percent_diff(double value, double reference) {
+  return 100.0 * (value - reference) / reference;
+}
+
+}  // namespace
+
+std::vector<validation_row> validation_table(
+    const kibam::battery_parameters& battery, const load::step_sizes& steps) {
+  const kibam::discretization disc{battery, steps};
+  std::vector<validation_row> rows;
+  rows.reserve(load::all_test_loads().size());
+  for (const load::test_load l : load::all_test_loads()) {
+    const load::trace trace = load::paper_trace(l);
+    const double analytic = kibam::lifetime(battery, trace);
+    const double discrete = kibam::discrete_lifetime(disc, trace);
+    rows.push_back({l, analytic, discrete,
+                    std::abs(percent_diff(discrete, analytic))});
+  }
+  return rows;
+}
+
+double policy_lifetime(const kibam::discretization& disc,
+                       std::size_t battery_count, const load::trace& load,
+                       sched::policy& pol) {
+  return sched::simulate_discrete(disc, battery_count, load, pol)
+      .lifetime_min;
+}
+
+std::vector<scheduling_row> scheduling_table(
+    const kibam::battery_parameters& battery, std::size_t battery_count,
+    bool include_optimal, const load::step_sizes& steps) {
+  const kibam::discretization disc{battery, steps};
+  const auto seq = sched::sequential();
+  const auto rr = sched::round_robin();
+  const auto b2 = sched::best_of_n();
+
+  std::vector<scheduling_row> rows;
+  rows.reserve(load::all_test_loads().size());
+  for (const load::test_load l : load::all_test_loads()) {
+    const load::trace trace = load::paper_trace(l);
+    scheduling_row row{};
+    row.load = l;
+    row.sequential_min = policy_lifetime(disc, battery_count, trace, *seq);
+    row.round_robin_min = policy_lifetime(disc, battery_count, trace, *rr);
+    row.best_of_two_min = policy_lifetime(disc, battery_count, trace, *b2);
+    row.sequential_diff_percent =
+        percent_diff(row.sequential_min, row.round_robin_min);
+    row.best_of_two_diff_percent =
+        percent_diff(row.best_of_two_min, row.round_robin_min);
+    if (include_optimal) {
+      const opt::optimal_result best =
+          opt::optimal_schedule(disc, battery_count, trace);
+      row.optimal_min = best.lifetime_min;
+      row.optimal_diff_percent =
+          percent_diff(row.optimal_min, row.round_robin_min);
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+figure6_data figure6(const kibam::battery_parameters& battery,
+                     load::test_load l, const load::step_sizes& steps) {
+  const kibam::discretization disc{battery, steps};
+  const load::trace trace = load::paper_trace(l);
+
+  sched::sim_options opts;
+  opts.record_trace = true;
+  opts.sample_min = 0.05;
+
+  figure6_data out;
+  const auto b2 = sched::best_of_n();
+  out.best_of_two = sched::simulate_discrete(disc, 2, trace, *b2, opts);
+
+  const opt::optimal_result best = opt::optimal_schedule(disc, 2, trace);
+  out.optimal_lifetime_min = best.lifetime_min;
+  const auto replay = sched::fixed_schedule(best.decisions);
+  out.optimal = sched::simulate_discrete(disc, 2, trace, *replay, opts);
+  return out;
+}
+
+std::vector<residual_point> residual_sweep(const std::vector<double>& scales,
+                                           load::test_load l) {
+  require(!scales.empty(), "residual_sweep: need at least one scale");
+  const load::trace trace = load::paper_trace(l);
+  std::vector<residual_point> out;
+  out.reserve(scales.size());
+  for (const double scale : scales) {
+    require(scale > 0, "residual_sweep: scales must be positive");
+    const kibam::battery_parameters battery =
+        kibam::itsy_battery(5.5 * scale);
+    const std::vector<kibam::battery_parameters> bank(2, battery);
+    const auto b2 = sched::best_of_n();
+    sched::sim_options opts;
+    opts.horizon_min = 1e7;
+    const sched::sim_result res =
+        sched::simulate_continuous(bank, trace, *b2, opts);
+    const double initial = 2 * battery.capacity_amin;
+    out.push_back({scale, battery.capacity_amin, res.lifetime_min,
+                   res.residual_amin / initial});
+  }
+  return out;
+}
+
+std::vector<ablation_point> discretization_sweep(
+    const kibam::battery_parameters& battery, load::test_load l,
+    const std::vector<load::step_sizes>& grids) {
+  require(!grids.empty(), "discretization_sweep: need at least one grid");
+  const load::trace trace = load::paper_trace(l);
+  const double analytic = kibam::lifetime(battery, trace);
+  std::vector<ablation_point> out;
+  out.reserve(grids.size());
+  for (const load::step_sizes& grid : grids) {
+    const kibam::discretization disc{battery, grid};
+    const double discrete = kibam::discrete_lifetime(disc, trace);
+    out.push_back({grid.charge_unit_amin, grid.time_step_min, discrete,
+                   analytic,
+                   std::abs(percent_diff(discrete, analytic))});
+  }
+  return out;
+}
+
+}  // namespace bsched::exp

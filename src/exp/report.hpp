@@ -1,0 +1,33 @@
+// Paper-style rendering of experiment results: the benches print these
+// tables so their output can be compared line by line with the paper.
+#pragma once
+
+#include <string>
+
+#include "exp/experiments.hpp"
+#include "util/table.hpp"
+
+namespace bsched::exp {
+
+/// Renders Table 3/4: "test load | lifetime KiBaM | lifetime dKiBaM | %".
+[[nodiscard]] text_table validation_report(
+    const std::vector<validation_row>& rows);
+
+/// Renders Table 5: the four schedulers and differences vs round robin.
+[[nodiscard]] text_table scheduling_report(
+    const std::vector<scheduling_row>& rows, bool include_optimal = true);
+
+/// Renders the residual-charge sweep of Section 6.
+[[nodiscard]] text_table residual_report(
+    const std::vector<residual_point>& rows);
+
+/// Renders the discretization ablation.
+[[nodiscard]] text_table ablation_report(
+    const std::vector<ablation_point>& rows);
+
+/// Formats minutes with the paper's two decimal places.
+[[nodiscard]] std::string fmt_min(double minutes);
+/// Formats a percentage with one decimal place (paper style).
+[[nodiscard]] std::string fmt_pct(double percent);
+
+}  // namespace bsched::exp

@@ -1,0 +1,113 @@
+#include "kibam/discrete.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace bsched::kibam {
+
+discretization::discretization(const battery_parameters& params,
+                               load::step_sizes steps)
+    : params_(params), steps_(steps) {
+  validate(params_);
+  require(steps_.time_step_min > 0 && steps_.charge_unit_amin > 0,
+          "discretization: step sizes must be positive");
+  const double units = params_.capacity_amin / steps_.charge_unit_amin;
+  n0_ = static_cast<std::int64_t>(std::llround(units));
+  require(n0_ >= 2, "discretization: capacity must span >= 2 charge units");
+  require(std::abs(static_cast<double>(n0_) - units) < 1e-6,
+          "discretization: capacity must be an integral number of units");
+  c_pm_ = static_cast<std::int64_t>(std::llround(params_.c * 1000.0));
+  require(c_pm_ > 0 && c_pm_ < 1000,
+          "discretization: c out of permille range");
+
+  // Precompute eq. (6) for every reachable height difference. m never
+  // exceeds the number of draws plus the largest per-draw increment, and
+  // there are at most N draws; 2N is a safe ceiling.
+  const auto max_m = static_cast<std::size_t>(2 * n0_ + 2);
+  recovery_.resize(max_m + 1, 0);
+  for (std::size_t m = 2; m <= max_m; ++m) {
+    const double minutes =
+        std::log(static_cast<double>(m) / (static_cast<double>(m) - 1.0)) /
+        params_.k_prime;
+    // Floor at one step: a zero entry would mean instantaneous recovery,
+    // which neither the stepper nor the timed automaton can express.
+    recovery_[m] =
+        std::max<std::int64_t>(1, std::llround(minutes / steps_.time_step_min));
+  }
+}
+
+std::int64_t discretization::recovery_steps(std::int64_t m) const {
+  require(m >= 2, "recovery_steps: defined for m >= 2 only");
+  BSCHED_ASSERT(static_cast<std::size_t>(m) < recovery_.size());
+  return recovery_[static_cast<std::size_t>(m)];
+}
+
+state discretization::to_continuous(std::int64_t n, std::int64_t m) const {
+  const double gamma = static_cast<double>(n) * steps_.charge_unit_amin;
+  const double delta =
+      static_cast<double>(m) * steps_.charge_unit_amin / params_.c;
+  return {delta, gamma};
+}
+
+discrete_state full_discrete(const discretization& d) {
+  return {d.total_units(), 0, 0, 0, false};
+}
+
+step_event step(const discretization& d, discrete_state& s,
+                const load::draw_rate& rate) {
+  // Recovery process (height-difference automaton, Fig. 5(b)).
+  if (s.m >= 2) {
+    ++s.recovery_elapsed;
+    if (s.recovery_elapsed >= d.recovery_steps(s.m)) {
+      --s.m;
+      s.recovery_elapsed = 0;
+    }
+  } else {
+    s.recovery_elapsed = 0;
+  }
+
+  // Discharge process (total-charge automaton, Fig. 5(a)).
+  if (rate.steps > 0 && !s.empty) {
+    ++s.discharge_elapsed;
+    if (s.discharge_elapsed >= rate.steps) {
+      s.n -= rate.units;
+      s.m += rate.units;
+      s.discharge_elapsed = 0;
+      BSCHED_ASSERT(s.n >= 0);
+      if (d.is_empty(s.n, s.m)) {
+        s.empty = true;
+        return step_event::died;
+      }
+      return step_event::drew;
+    }
+  }
+  return step_event::none;
+}
+
+double discrete_lifetime(const discretization& d, const load::trace& trace,
+                         double horizon_min) {
+  discrete_state s = full_discrete(d);
+  load::epoch_cursor cursor{trace};
+  std::int64_t step_count = 0;
+  const double t_step = d.steps().time_step_min;
+  while (static_cast<double>(step_count) * t_step < horizon_min) {
+    const load::epoch& e = cursor.current();
+    const load::draw_rate rate =
+        e.current_a > 0 ? load::rate_for(e.current_a, d.steps())
+                        : load::draw_rate{0, 0};
+    const auto epoch_steps =
+        static_cast<std::int64_t>(std::llround(e.duration_min / t_step));
+    s.discharge_elapsed = 0;  // go_on resets c_disch at each epoch start
+    for (std::int64_t i = 0; i < epoch_steps; ++i) {
+      ++step_count;
+      if (step(d, s, rate) == step_event::died) {
+        return static_cast<double>(step_count) * t_step;
+      }
+    }
+    cursor.advance();
+  }
+  throw error("discrete_lifetime: battery survived the analysis horizon");
+}
+
+}  // namespace bsched::kibam

@@ -1,0 +1,105 @@
+// The continuous Kinetic Battery Model (Sections 2.1-2.2).
+//
+// Two state representations are provided:
+//   * well coordinates   (y1, y2)        — eq. (1),
+//   * transformed coords (delta, gamma)  — eq. (2), delta = h2 - h1,
+//     gamma = y1 + y2.
+// The battery is empty when y1 = 0, equivalently gamma = (1 - c) delta
+// (eq. (3)). For constant current the transformed system has a closed form,
+// which `advance` uses; `lifetime` walks a piecewise-constant load trace
+// segment by segment and locates the empty crossing exactly (Newton with a
+// bisection fallback).
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "kibam/parameters.hpp"
+#include "load/trace.hpp"
+
+namespace bsched::kibam {
+
+/// State in well coordinates: charge in the available and bound wells.
+struct well_state {
+  double y1;  ///< Available charge (supplies the load directly).
+  double y2;  ///< Bound charge (drains into the available well).
+};
+
+/// State in transformed coordinates (eq. (2)).
+struct state {
+  double delta;  ///< Height difference h2 - h1.
+  double gamma;  ///< Total remaining charge y1 + y2.
+};
+
+/// Full state for a freshly charged battery: delta = 0, gamma = C.
+[[nodiscard]] state full(const battery_parameters& p);
+
+/// Coordinate transform (Section 2.2) and its inverse.
+[[nodiscard]] state to_transformed(const battery_parameters& p,
+                                   const well_state& w);
+[[nodiscard]] well_state to_wells(const battery_parameters& p,
+                                  const state& s);
+
+/// Charge in the available well; the battery is empty when this reaches 0.
+[[nodiscard]] double available_charge(const battery_parameters& p,
+                                      const state& s);
+
+/// Empty margin gamma - (1-c) delta; positive while the battery is alive.
+/// Proportional to the available charge: margin = y1 / c.
+[[nodiscard]] double empty_margin(const battery_parameters& p,
+                                  const state& s);
+
+/// Closed-form advance of the transformed state by `dt_min` minutes under
+/// constant current `current_a` (valid for current 0 as well):
+///   delta(t) = I/(c k') + (delta0 - I/(c k')) e^{-k' t},
+///   gamma(t) = gamma0 - I t.
+[[nodiscard]] state advance(const battery_parameters& p, const state& s,
+                            double current_a, double dt_min);
+
+/// First time within [0, dt_min] at which the battery becomes empty while
+/// drawing `current_a`, or nullopt if it survives the whole interval.
+/// Accurate to ~1e-12 minutes.
+[[nodiscard]] std::optional<double> time_to_empty(const battery_parameters& p,
+                                                  const state& s,
+                                                  double current_a,
+                                                  double dt_min);
+
+/// Lifetime (minutes, from full) of a single battery driven by `load`,
+/// computed segment-analytically. Throws if the battery survives
+/// `horizon_min` minutes (the paper's loads always exhaust the battery).
+[[nodiscard]] double lifetime(const battery_parameters& p,
+                              const load::trace& load,
+                              double horizon_min = 1e6);
+
+/// Lifetime for constant current `current_a` (closed form via eq. (3)).
+[[nodiscard]] double constant_current_lifetime(const battery_parameters& p,
+                                               double current_a);
+
+/// Right-hand side of eq. (2) for use with the generic ODE steppers
+/// (state vector = {delta, gamma}). Used to cross-validate the analytic
+/// solution in tests.
+struct transformed_rhs {
+  battery_parameters params;
+  double current_a;
+
+  [[nodiscard]] std::array<double, 2> operator()(
+      double /*t*/, const std::array<double, 2>& y) const noexcept {
+    return {current_a / params.c - params.k_prime * y[0], -current_a};
+  }
+};
+
+/// Right-hand side of eq. (1) in well coordinates (state = {y1, y2}).
+struct wells_rhs {
+  battery_parameters params;
+  double current_a;
+
+  [[nodiscard]] std::array<double, 2> operator()(
+      double /*t*/, const std::array<double, 2>& y) const noexcept {
+    const double h1 = y[0] / params.c;
+    const double h2 = y[1] / (1 - params.c);
+    const double flow = params.k() * (h2 - h1);
+    return {-current_a + flow, -flow};
+  }
+};
+
+}  // namespace bsched::kibam

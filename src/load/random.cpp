@@ -1,0 +1,39 @@
+#include "load/random.hpp"
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bsched::load {
+
+job_sequence random_jobs(std::size_t count, double p_high, double idle_min,
+                         std::uint64_t seed) {
+  require(count > 0, "random_jobs: need at least one job");
+  require(p_high >= 0 && p_high <= 1, "random_jobs: p_high outside [0,1]");
+  rng gen{seed};
+  job_sequence seq;
+  seq.idle_min = idle_min;
+  seq.currents.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    seq.currents.push_back(gen.bernoulli(p_high) ? high_current_a
+                                                 : low_current_a);
+  }
+  return seq;
+}
+
+job_sequence markov_jobs(std::size_t count, double p_stay, double idle_min,
+                         std::uint64_t seed) {
+  require(count > 0, "markov_jobs: need at least one job");
+  require(p_stay >= 0 && p_stay <= 1, "markov_jobs: p_stay outside [0,1]");
+  rng gen{seed};
+  job_sequence seq;
+  seq.idle_min = idle_min;
+  seq.currents.reserve(count);
+  bool high = gen.bernoulli(0.5);
+  for (std::size_t i = 0; i < count; ++i) {
+    seq.currents.push_back(high ? high_current_a : low_current_a);
+    if (!gen.bernoulli(p_stay)) high = !high;
+  }
+  return seq;
+}
+
+}  // namespace bsched::load

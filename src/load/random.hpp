@@ -1,0 +1,21 @@
+// Seeded random load generators — the "realistic random loads" the paper's
+// outlook calls for. All generators are deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "load/jobs.hpp"
+
+namespace bsched::load {
+
+/// `count` jobs, each independently high with probability `p_high`,
+/// otherwise low; `idle_min` idle after each job.
+[[nodiscard]] job_sequence random_jobs(std::size_t count, double p_high,
+                                       double idle_min, std::uint64_t seed);
+
+/// Bursty two-state Markov sequence: the next job repeats the previous
+/// class with probability `p_stay`. Models sustained high-load phases.
+[[nodiscard]] job_sequence markov_jobs(std::size_t count, double p_stay,
+                                       double idle_min, std::uint64_t seed);
+
+}  // namespace bsched::load

@@ -1,0 +1,65 @@
+// Event (root) detection while integrating: find the first time at which a
+// scalar condition g(t, y) crosses zero from positive to non-positive.
+// Used to locate the battery-empty instant gamma(t) - (1-c) delta(t) = 0.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <optional>
+
+#include "ode/steppers.hpp"
+#include "util/error.hpp"
+
+namespace bsched::ode {
+
+template <std::size_t N>
+struct event_result {
+  double time;      ///< Time of the zero crossing.
+  state<N> value;   ///< State at the crossing.
+};
+
+/// Integrates with fixed step `h` from t0 to t1 and returns the first zero
+/// crossing of `g` (positive -> non-positive), refined by bisection on the
+/// stepper to `time_tol`. Returns nullopt when no crossing occurs in range.
+///
+/// The stepper is re-run from the step's start state during bisection, so
+/// refinement has the same order of accuracy as the base integration.
+template <typename Stepper, std::size_t N, rhs<N> F,
+          typename G = std::function<double(double, const state<N>&)>>
+std::optional<event_result<N>> first_crossing(Stepper step, F&& f, G&& g,
+                                              double t0, double t1,
+                                              state<N> y, double h,
+                                              double time_tol = 1e-10) {
+  require(h > 0, "first_crossing: step must be positive");
+  require(time_tol > 0, "first_crossing: time_tol must be positive");
+  double t = t0;
+  double g_prev = g(t, y);
+  if (g_prev <= 0) return event_result<N>{t, y};
+  while (t < t1) {
+    const double hh = std::min(h, t1 - t);
+    const state<N> y_next = step.template operator()<N>(f, t, y, hh);
+    const double g_next = g(t + hh, y_next);
+    if (g_next <= 0) {
+      // Bisect the step interval [0, hh] on substep size.
+      double lo = 0, hi = hh;
+      state<N> y_hi = y_next;
+      while (hi - lo > time_tol) {
+        const double mid = (lo + hi) / 2;
+        const state<N> y_mid = step.template operator()<N>(f, t, y, mid);
+        if (g(t + mid, y_mid) <= 0) {
+          hi = mid;
+          y_hi = y_mid;
+        } else {
+          lo = mid;
+        }
+      }
+      return event_result<N>{t + hi, y_hi};
+    }
+    t += hh;
+    y = y_next;
+    g_prev = g_next;
+  }
+  return std::nullopt;
+}
+
+}  // namespace bsched::ode

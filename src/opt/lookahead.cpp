@@ -1,0 +1,192 @@
+#include "opt/lookahead.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "util/error.hpp"
+
+namespace bsched::opt {
+
+namespace {
+
+using bank = std::vector<kibam::discrete_state>;
+
+std::int64_t epoch_steps(const load::epoch& e, const load::step_sizes& s) {
+  return std::llround(e.duration_min / s.time_step_min);
+}
+
+bool all_empty(const bank& bats) {
+  return std::ranges::all_of(bats, [](const auto& b) { return b.empty; });
+}
+
+/// Greedy tie-broken choice: the alive battery with the most available
+/// charge (the best-of-N rule the rollout tail uses).
+std::optional<std::size_t> greedy_choice(const kibam::discretization& disc,
+                                         const bank& bats) {
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < bats.size(); ++i) {
+    if (bats[i].empty) continue;
+    if (!best || disc.available_permille(bats[i].n, bats[i].m) >
+                     disc.available_permille(bats[*best].n, bats[*best].m)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+/// Simulates one job epoch with `active` serving; hand-overs fall to the
+/// greedy rule. Returns the steps consumed and whether the system died.
+struct segment_outcome {
+  std::int64_t steps = 0;
+  bool died = false;
+};
+
+segment_outcome run_job(const kibam::discretization& disc, bank& bats,
+                        const load::epoch& e, std::size_t active,
+                        std::vector<std::size_t>* handovers = nullptr) {
+  const load::draw_rate rate = load::rate_for(e.current_a, disc.steps());
+  const std::int64_t total = epoch_steps(e, disc.steps());
+  bats[active].discharge_elapsed = 0;
+  segment_outcome out;
+  for (std::int64_t i = 0; i < total; ++i) {
+    ++out.steps;
+    kibam::step_event ev = kibam::step_event::none;
+    for (std::size_t b = 0; b < bats.size(); ++b) {
+      const auto e_b = kibam::step(
+          disc, bats[b], b == active ? rate : load::draw_rate{0, 0});
+      if (b == active) ev = e_b;
+    }
+    if (ev == kibam::step_event::died) {
+      const auto next = greedy_choice(disc, bats);
+      if (!next) {
+        out.died = true;
+        return out;
+      }
+      active = *next;
+      bats[active].discharge_elapsed = 0;
+      if (handovers != nullptr) handovers->push_back(active);
+    }
+  }
+  return out;
+}
+
+void run_idle(const kibam::discretization& disc, bank& bats,
+              std::int64_t steps) {
+  for (std::int64_t i = 0; i < steps; ++i) {
+    for (auto& b : bats) kibam::step(disc, b, {0, 0});
+  }
+}
+
+/// Rolls out: the candidate job, then `horizon` more jobs greedily.
+/// Returns (steps survived within the rollout, died?, health) where
+/// health is the *minimum* available charge across alive batteries — a
+/// balance-seeking tie-break (maximising the total instead can prefer
+/// deep-draining one battery, which collapses into sequential discharge).
+struct rollout_score {
+  std::int64_t steps = 0;
+  bool died = false;
+  std::int64_t health = 0;
+
+  /// True when this score is strictly preferable to `other`.
+  [[nodiscard]] bool better_than(const rollout_score& other) const {
+    if (died != other.died) return !died;
+    if (died) return steps > other.steps;  // both died: survive longer
+    if (health != other.health) return health > other.health;
+    return false;
+  }
+};
+
+rollout_score rollout(const kibam::discretization& disc, bank bats,
+                      const load::trace& load, std::size_t epoch,
+                      std::size_t candidate, std::size_t horizon) {
+  rollout_score score;
+  std::size_t jobs_done = 0;
+  std::optional<std::size_t> choice = candidate;
+  while (true) {
+    const load::epoch& e = load.at(epoch);
+    if (e.current_a <= 0) {
+      const std::int64_t steps = epoch_steps(e, disc.steps());
+      run_idle(disc, bats, steps);
+      score.steps += steps;
+      ++epoch;
+      continue;
+    }
+    if (!choice) choice = greedy_choice(disc, bats);
+    BSCHED_ASSERT(choice.has_value());
+    const segment_outcome seg = run_job(disc, bats, e, *choice);
+    score.steps += seg.steps;
+    if (seg.died) {
+      score.died = true;
+      return score;
+    }
+    choice.reset();
+    ++jobs_done;
+    ++epoch;
+    if (jobs_done > horizon) break;
+  }
+  bool first = true;
+  for (const auto& b : bats) {
+    if (b.empty) continue;
+    const std::int64_t avail = disc.available_permille(b.n, b.m);
+    score.health = first ? avail : std::min(score.health, avail);
+    first = false;
+  }
+  return score;
+}
+
+}  // namespace
+
+lookahead_result lookahead_schedule(const kibam::discretization& disc,
+                                    std::size_t battery_count,
+                                    const load::trace& load,
+                                    std::size_t horizon_jobs) {
+  require(battery_count >= 1, "lookahead: need at least one battery");
+  lookahead_result out;
+  bank bats(battery_count, kibam::full_discrete(disc));
+  std::size_t epoch = 0;
+  std::int64_t steps = 0;
+
+  while (true) {
+    const load::epoch& e = load.at(epoch);
+    if (e.current_a <= 0) {
+      const std::int64_t len = epoch_steps(e, disc.steps());
+      run_idle(disc, bats, len);
+      steps += len;
+      ++epoch;
+      continue;
+    }
+    // Score every distinct alive candidate by rollout.
+    std::optional<std::size_t> best;
+    rollout_score best_score;
+    std::vector<std::pair<std::int64_t, std::int64_t>> tried;
+    for (std::size_t c = 0; c < bats.size(); ++c) {
+      if (bats[c].empty) continue;
+      const std::pair<std::int64_t, std::int64_t> sig{bats[c].n, bats[c].m};
+      if (std::ranges::find(tried, sig) != tried.end()) continue;
+      tried.push_back(sig);
+      const rollout_score score =
+          rollout(disc, bats, load, epoch, c, horizon_jobs);
+      ++out.rollouts;
+      if (!best || score.better_than(best_score)) {
+        best = c;
+        best_score = score;
+      }
+    }
+    BSCHED_ASSERT(best.has_value());
+    out.decisions.push_back(*best);
+    const segment_outcome seg =
+        run_job(disc, bats, e, *best, &out.decisions);
+    steps += seg.steps;
+    if (seg.died && all_empty(bats)) {
+      out.lifetime_min =
+          static_cast<double>(steps) * disc.steps().time_step_min;
+      return out;
+    }
+    ++epoch;
+    require(steps < (std::int64_t{1} << 40),
+            "lookahead: system never exhausts the batteries");
+  }
+}
+
+}  // namespace bsched::opt

@@ -1,0 +1,35 @@
+// Lookahead (rollout) scheduling — an online policy between best-of-two
+// and the optimal schedule.
+//
+// The optimal scheduler of search.hpp needs the whole future load; the
+// greedy best-of-N needs none but misses schedules where a locally worse
+// battery choice pays off later (the paper's ILs r1: greedy 16.26 vs
+// optimal 20.52). Rollout interpolates: at every decision point it tries
+// each alive battery, simulates `horizon_jobs` jobs ahead finishing with
+// the greedy rule, and commits to the choice whose rollout survives
+// longest. horizon 0 degenerates to greedy; growing horizons approach the
+// optimum at linear (not exponential) cost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kibam/discrete.hpp"
+#include "load/trace.hpp"
+
+namespace bsched::opt {
+
+struct lookahead_result {
+  double lifetime_min = 0;
+  std::vector<std::size_t> decisions;  ///< Battery per new_job event.
+  std::uint64_t rollouts = 0;          ///< Simulated candidate futures.
+};
+
+/// Runs the rollout scheduler for `battery_count` identical batteries.
+/// `horizon_jobs` is the number of *additional* jobs simulated beyond the
+/// one being scheduled.
+[[nodiscard]] lookahead_result lookahead_schedule(
+    const kibam::discretization& disc, std::size_t battery_count,
+    const load::trace& load, std::size_t horizon_jobs);
+
+}  // namespace bsched::opt

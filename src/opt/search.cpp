@@ -1,0 +1,346 @@
+#include "opt/search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace bsched::opt {
+
+namespace {
+
+constexpr std::int64_t k_inf = std::numeric_limits<std::int64_t>::max() / 4;
+
+/// Packs a battery state into one word for hashing/sorting. Nodes always
+/// have discharge_elapsed == 0, so three counters and the empty bit suffice.
+std::uint64_t pack(const kibam::discrete_state& b) {
+  BSCHED_ASSERT(b.n >= 0 && b.n < (1 << 21));
+  BSCHED_ASSERT(b.m >= 0 && b.m < (1 << 21));
+  BSCHED_ASSERT(b.recovery_elapsed >= 0 && b.recovery_elapsed < (1 << 21));
+  return (static_cast<std::uint64_t>(b.n) << 43) |
+         (static_cast<std::uint64_t>(b.m) << 22) |
+         (static_cast<std::uint64_t>(b.recovery_elapsed) << 1) |
+         static_cast<std::uint64_t>(b.empty);
+}
+
+struct vec_hash {
+  std::size_t operator()(const std::vector<std::uint64_t>& v) const noexcept {
+    // FNV-1a over the words.
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const std::uint64_t w : v) {
+      h ^= w;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Steps in an epoch at the discretization's granularity.
+std::int64_t epoch_steps(const load::epoch& e, const load::step_sizes& s) {
+  return std::llround(e.duration_min / s.time_step_min);
+}
+
+class searcher {
+ public:
+  searcher(const kibam::discretization& disc, std::size_t count,
+           const load::trace& load, const search_options& opts, bool minimize)
+      : disc_(disc), load_(load), count_(count), opts_(opts),
+        minimize_(minimize) {}
+
+  optimal_result run() {
+    require(count_ >= 1, "optimal_schedule: need at least one battery");
+    const bool cycle_has_job = std::ranges::any_of(
+        load_.cycle(), [](const load::epoch& e) { return e.current_a > 0; });
+    require(cycle_has_job,
+            "optimal_schedule: the load cycle must contain a job");
+
+    std::vector<kibam::discrete_state> bats(count_,
+                                            kibam::full_discrete(disc_));
+    std::size_t epoch = 0;
+    std::int64_t lead_in = 0;
+    skip_idle(bats, epoch, lead_in);
+
+    const std::int64_t best = node_value(bats, epoch);
+
+    optimal_result out;
+    out.lifetime_min =
+        static_cast<double>(lead_in + best) * disc_.steps().time_step_min;
+    reconstruct(std::move(bats), epoch, out.decisions);
+    out.stats = stats_;
+    out.stats.memo_entries = memo_.size();
+    return out;
+  }
+
+  std::int64_t bound(std::size_t epoch_index, std::int64_t alive_units) const {
+    return drain_bound_steps(disc_, load_, epoch_index, alive_units);
+  }
+
+ private:
+  /// Advances through idle epochs (all batteries recovering), accumulating
+  /// the consumed steps, until `epoch` refers to a job epoch.
+  void skip_idle(std::vector<kibam::discrete_state>& bats, std::size_t& epoch,
+                 std::int64_t& consumed) const {
+    while (load_.at(epoch).current_a <= 0) {
+      const std::int64_t steps = epoch_steps(load_.at(epoch), disc_.steps());
+      for (std::int64_t i = 0; i < steps; ++i) {
+        for (auto& b : bats) kibam::step(disc_, b, {0, 0});
+      }
+      consumed += steps;
+      ++epoch;
+    }
+  }
+
+  /// Canonical epoch index within the cyclic structure (for memo keys).
+  std::size_t canonical(std::size_t epoch) const {
+    const std::size_t prefix = load_.prefix().size();
+    if (epoch < prefix) return epoch;
+    return prefix + (epoch - prefix) % load_.cycle().size();
+  }
+
+  std::vector<std::uint64_t> make_key(
+      const std::vector<kibam::discrete_state>& bats,
+      std::size_t epoch) const {
+    std::vector<std::uint64_t> key;
+    key.reserve(bats.size() + 1);
+    key.push_back(canonical(epoch));
+    for (const auto& b : bats) key.push_back(pack(b));
+    std::sort(key.begin() + 1, key.end());
+    return key;
+  }
+
+  /// Exact best (max, or min when minimising) additional steps from the
+  /// start of job epoch `epoch` until system death. The value is exact even
+  /// with pruning: pruned children return upper bounds that never exceed the
+  /// running best, so the fold is unaffected.
+  std::int64_t node_value(const std::vector<kibam::discrete_state>& bats,
+                          std::size_t epoch) {
+    const std::vector<std::uint64_t> key = make_key(bats, epoch);
+    if (const auto it = memo_.find(key); it != memo_.end()) {
+      ++stats_.memo_hits;
+      return it->second;
+    }
+    ++stats_.nodes;
+    require(stats_.nodes <= opts_.max_nodes,
+            "optimal_schedule: node budget exhausted; relax the load or "
+            "coarsen the grid");
+
+    std::int64_t best = minimize_ ? k_inf : -1;
+    std::vector<std::uint64_t> tried;
+    for (std::size_t i = 0; i < bats.size(); ++i) {
+      if (bats[i].empty) continue;
+      const std::uint64_t sig = pack(bats[i]);
+      if (std::ranges::find(tried, sig) != tried.end()) continue;
+      tried.push_back(sig);
+      auto copy = bats;
+      const std::int64_t v =
+          run_from(copy, epoch, 0, i, minimize_ ? 0 : best);
+      best = minimize_ ? std::min(best, v) : std::max(best, v);
+    }
+    BSCHED_ASSERT(best >= 0 && best < k_inf);
+    memo_.emplace(std::move(key), best);
+    return best;
+  }
+
+  /// Simulates job epoch `epoch` from step `offset` with `active` serving.
+  /// Returns the best additional steps measured from the entry point.
+  /// When maximising, values <= `prune_below` may be over-approximated.
+  std::int64_t run_from(std::vector<kibam::discrete_state>& bats,
+                        std::size_t epoch, std::int64_t offset,
+                        std::size_t active, std::int64_t prune_below) {
+    const load::epoch& e = load_.at(epoch);
+    const load::draw_rate rate = load::rate_for(e.current_a, disc_.steps());
+    const std::int64_t total = epoch_steps(e, disc_.steps());
+    bats[active].discharge_elapsed = 0;
+
+    std::int64_t local = 0;
+    for (std::int64_t i = offset; i < total; ++i) {
+      ++local;
+      kibam::step_event ev = kibam::step_event::none;
+      for (std::size_t b = 0; b < bats.size(); ++b) {
+        const auto e_b =
+            kibam::step(disc_, bats[b], b == active ? rate : load::draw_rate{0, 0});
+        if (b == active) ev = e_b;
+      }
+      if (ev != kibam::step_event::died) continue;
+      const bool all_empty = std::ranges::all_of(
+          bats, [](const auto& b) { return b.empty; });
+      if (all_empty) return local;
+      // Forced hand-over: branch over the distinct alive batteries.
+      std::int64_t best = minimize_ ? k_inf : -1;
+      std::vector<std::uint64_t> tried;
+      for (std::size_t b = 0; b < bats.size(); ++b) {
+        if (bats[b].empty) continue;
+        const std::uint64_t sig = pack(bats[b]);
+        if (std::ranges::find(tried, sig) != tried.end()) continue;
+        tried.push_back(sig);
+        auto copy = bats;
+        const std::int64_t v =
+            run_from(copy, epoch, i + 1, b,
+                     minimize_ ? 0 : std::max(best, prune_below - local));
+        best = minimize_ ? std::min(best, v) : std::max(best, v);
+      }
+      return local + best;
+    }
+
+    // Epoch completed; cross idle epochs to the next decision point.
+    std::size_t next = epoch + 1;
+    std::int64_t consumed = local;
+    skip_idle(bats, next, consumed);
+    for (auto& b : bats) b.discharge_elapsed = 0;
+
+    if (!minimize_ && opts_.prune) {
+      std::int64_t alive_units = 0;
+      for (const auto& b : bats) {
+        if (!b.empty) alive_units += b.n;
+      }
+      const std::int64_t upper = consumed + bound(next, alive_units);
+      if (upper <= prune_below) {
+        ++stats_.pruned;
+        return upper;  // <= prune_below: caller's max ignores it.
+      }
+    }
+    return consumed + node_value(bats, next);
+  }
+
+  /// Rebuilds the decision list of an optimal run by re-walking the warmed
+  /// memo and committing, at every branch, a choice achieving the value.
+  void reconstruct(std::vector<kibam::discrete_state> bats, std::size_t epoch,
+                   std::vector<std::size_t>& decisions) {
+    while (true) {
+      const std::int64_t target = node_value(bats, epoch);
+      bool matched = false;
+      for (std::size_t i = 0; i < bats.size() && !matched; ++i) {
+        if (bats[i].empty) continue;
+        auto copy = bats;
+        std::vector<std::size_t> pending{i};
+        const walk_result wr = probe(copy, epoch, 0, i, pending);
+        if (wr.value != target) continue;
+        matched = true;
+        decisions.insert(decisions.end(), pending.begin(), pending.end());
+        if (wr.died) return;
+        bats = std::move(copy);
+        epoch = wr.next_epoch;
+      }
+      BSCHED_ASSERT(matched);
+    }
+  }
+
+  struct walk_result {
+    std::int64_t value;
+    bool died;
+    std::size_t next_epoch;
+  };
+
+  /// Deterministic twin of run_from that records hand-over choices and
+  /// returns the follow-on state instead of folding over branches.
+  walk_result probe(std::vector<kibam::discrete_state>& bats,
+                    std::size_t epoch, std::int64_t offset, std::size_t active,
+                    std::vector<std::size_t>& pending) {
+    const load::epoch& e = load_.at(epoch);
+    const load::draw_rate rate = load::rate_for(e.current_a, disc_.steps());
+    const std::int64_t total = epoch_steps(e, disc_.steps());
+    bats[active].discharge_elapsed = 0;
+
+    std::int64_t local = 0;
+    for (std::int64_t i = offset; i < total; ++i) {
+      ++local;
+      kibam::step_event ev = kibam::step_event::none;
+      for (std::size_t b = 0; b < bats.size(); ++b) {
+        const auto e_b =
+            kibam::step(disc_, bats[b], b == active ? rate : load::draw_rate{0, 0});
+        if (b == active) ev = e_b;
+      }
+      if (ev != kibam::step_event::died) continue;
+      if (std::ranges::all_of(bats, [](const auto& b) { return b.empty; })) {
+        return {local, true, epoch};
+      }
+      // Choose the hand-over branch achieving the subtree optimum.
+      std::int64_t best = minimize_ ? k_inf : -1;
+      std::size_t best_b = 0;
+      for (std::size_t b = 0; b < bats.size(); ++b) {
+        if (bats[b].empty) continue;
+        auto copy = bats;
+        const std::int64_t v = run_from(copy, epoch, i + 1, b,
+                                        minimize_ ? 0 : -1);
+        const bool better = minimize_ ? v < best : v > best;
+        if (better) {
+          best = v;
+          best_b = b;
+        }
+      }
+      pending.push_back(best_b);
+      const walk_result tail = probe(bats, epoch, i + 1, best_b, pending);
+      return {local + tail.value, tail.died, tail.next_epoch};
+    }
+
+    std::size_t next = epoch + 1;
+    std::int64_t consumed = local;
+    skip_idle(bats, next, consumed);
+    for (auto& b : bats) b.discharge_elapsed = 0;
+    const std::int64_t tail = node_value(bats, next);
+    return {consumed + tail, false, next};
+  }
+
+  const kibam::discretization& disc_;
+  const load::trace& load_;
+  std::size_t count_;
+  search_options opts_;
+  bool minimize_;
+  std::unordered_map<std::vector<std::uint64_t>, std::int64_t, vec_hash> memo_;
+  search_stats stats_;
+};
+
+}  // namespace
+
+std::int64_t drain_bound_steps(const kibam::discretization& disc,
+                               const load::trace& load,
+                               std::size_t epoch_index,
+                               std::int64_t alive_units) {
+  require(alive_units >= 0, "drain_bound_steps: negative charge");
+  if (alive_units == 0) return 0;
+  std::int64_t steps = 0;
+  std::int64_t remaining = alive_units;
+  std::size_t idx = epoch_index;
+  // The cycle always drains charge, so this loop terminates; the guard is a
+  // hard cap against degenerate almost-idle loads.
+  for (std::size_t guard = 0; guard < 100'000'000; ++guard, ++idx) {
+    const load::epoch& e = load.at(idx);
+    const std::int64_t len = epoch_steps(e, disc.steps());
+    if (e.current_a <= 0) {
+      steps += len;
+      continue;
+    }
+    const load::draw_rate rate = load::rate_for(e.current_a, disc.steps());
+    const std::int64_t draws = len / rate.steps;
+    const std::int64_t drawable = draws * rate.units;
+    if (drawable < remaining) {
+      remaining -= drawable;
+      steps += len;
+      continue;
+    }
+    const std::int64_t needed_draws =
+        (remaining + rate.units - 1) / rate.units;
+    return steps + needed_draws * rate.steps;
+  }
+  throw error("drain_bound_steps: load drains too slowly to bound");
+}
+
+optimal_result optimal_schedule(const kibam::discretization& disc,
+                                std::size_t battery_count,
+                                const load::trace& load,
+                                const search_options& opts) {
+  searcher s{disc, battery_count, load, opts, /*minimize=*/false};
+  return s.run();
+}
+
+optimal_result worst_schedule(const kibam::discretization& disc,
+                              std::size_t battery_count,
+                              const load::trace& load,
+                              const search_options& opts) {
+  searcher s{disc, battery_count, load, opts, /*minimize=*/true};
+  return s.run();
+}
+
+}  // namespace bsched::opt

@@ -1,0 +1,69 @@
+// Optimal battery scheduling by exhaustive search over the dKiBaM.
+//
+// The paper obtains optimal schedules with Uppaal Cora's minimum-cost
+// reachability on the TA-KiBaM. This module exploits the observation of
+// Section 4.4 — between scheduling points the model is fully deterministic —
+// and searches the decision tree directly: a node is the start of a job
+// epoch, a branch is the choice of battery (plus forced hand-over choices
+// when the active battery is observed empty mid-job).
+//
+// The search is exact:
+//  * memoisation on (position in the cyclic load, sorted battery states)
+//    merges permutations of identical batteries (symmetry reduction);
+//  * an admissible drain bound (system death no later than the time at
+//    which the load has drawn every remaining charge unit) prunes children
+//    that provably cannot beat the best sibling; pruned children are never
+//    stored, so memoised values stay exact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kibam/discrete.hpp"
+#include "load/trace.hpp"
+#include "sched/simulator.hpp"
+
+namespace bsched::opt {
+
+struct search_options {
+  bool prune = true;            ///< Enable the admissible drain bound.
+  std::uint64_t max_nodes = 200'000'000;  ///< Safety valve; throws beyond.
+};
+
+struct search_stats {
+  std::uint64_t nodes = 0;      ///< Decision nodes expanded.
+  std::uint64_t memo_hits = 0;
+  std::uint64_t pruned = 0;     ///< Children skipped by the drain bound.
+  std::uint64_t memo_entries = 0;
+};
+
+struct optimal_result {
+  double lifetime_min = 0;
+  /// Battery choice per new_job event (job starts and hand-overs, in
+  /// order); replayable through sched::fixed_schedule.
+  std::vector<std::size_t> decisions;
+  search_stats stats;
+};
+
+/// Maximum-lifetime schedule for `battery_count` identical batteries under
+/// `load`. Throws when `max_nodes` is exceeded.
+[[nodiscard]] optimal_result optimal_schedule(
+    const kibam::discretization& disc, std::size_t battery_count,
+    const load::trace& load, const search_options& opts = {});
+
+/// Admissible upper bound (in time steps) on the remaining system lifetime
+/// from the start of epoch `epoch_index`, given `alive_units` total charge
+/// units across non-empty batteries. Exposed for property tests.
+[[nodiscard]] std::int64_t drain_bound_steps(const kibam::discretization& disc,
+                                             const load::trace& load,
+                                             std::size_t epoch_index,
+                                             std::int64_t alive_units);
+
+/// Minimum-lifetime schedule (same search, minimising): used to verify the
+/// paper's claim that sequential discharge is the worst possible schedule.
+[[nodiscard]] optimal_result worst_schedule(const kibam::discretization& disc,
+                                            std::size_t battery_count,
+                                            const load::trace& load,
+                                            const search_options& opts = {});
+
+}  // namespace bsched::opt

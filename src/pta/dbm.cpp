@@ -1,0 +1,171 @@
+#include "pta/dbm.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace bsched::pta {
+
+std::string dbm_bound::str() const {
+  if (is_inf()) return "<inf";
+  return (strict() ? "<" : "<=") + std::to_string(value());
+}
+
+dbm::dbm(std::size_t clocks) : clocks_(clocks) {
+  bounds_.assign(dim() * dim(), dbm_bound::infinity());
+}
+
+dbm dbm::zero(std::size_t clocks) {
+  dbm z{clocks};
+  std::fill(z.bounds_.begin(), z.bounds_.end(), dbm_bound::zero());
+  return z;
+}
+
+dbm dbm::universal(std::size_t clocks) {
+  dbm z{clocks};
+  for (std::size_t i = 0; i < z.dim(); ++i) {
+    z.cell(i, i) = dbm_bound::zero();
+    z.cell(0, i) = dbm_bound::zero();  // 0 - xi <= 0, clocks non-negative
+  }
+  z.cell(0, 0) = dbm_bound::zero();
+  return z;
+}
+
+dbm_bound& dbm::cell(std::size_t i, std::size_t j) {
+  BSCHED_ASSERT(i < dim() && j < dim());
+  return bounds_[i * dim() + j];
+}
+
+const dbm_bound& dbm::cell(std::size_t i, std::size_t j) const {
+  BSCHED_ASSERT(i < dim() && j < dim());
+  return bounds_[i * dim() + j];
+}
+
+dbm_bound dbm::at(std::size_t i, std::size_t j) const { return cell(i, j); }
+
+bool dbm::constrain(std::size_t i, std::size_t j, dbm_bound b) {
+  require(i < dim() && j < dim() && i != j, "dbm: bad constraint indices");
+  if (cell(i, j) <= b) return !empty();
+  cell(i, j) = b;
+  // Incremental closure: paths through the updated edge (i, j).
+  for (std::size_t a = 0; a < dim(); ++a) {
+    for (std::size_t c = 0; c < dim(); ++c) {
+      const dbm_bound via = cell(a, i) + b + cell(j, c);
+      if (via < cell(a, c)) cell(a, c) = via;
+    }
+  }
+  return !empty();
+}
+
+void dbm::up() {
+  for (std::size_t i = 1; i < dim(); ++i) cell(i, 0) = dbm_bound::infinity();
+}
+
+void dbm::reset(std::size_t x) {
+  require(x >= 1 && x < dim(), "dbm: cannot reset the reference clock");
+  for (std::size_t i = 0; i < dim(); ++i) {
+    if (i == x) continue;
+    cell(x, i) = cell(0, i);
+    cell(i, x) = cell(i, 0);
+  }
+  cell(x, x) = dbm_bound::zero();
+}
+
+void dbm::assign(std::size_t x, std::int32_t v) {
+  require(x >= 1 && x < dim(), "dbm: cannot assign the reference clock");
+  for (std::size_t i = 0; i < dim(); ++i) {
+    if (i == x) continue;
+    cell(x, i) = dbm_bound::le(v) + cell(0, i);
+    cell(i, x) = cell(i, 0) + dbm_bound::le(-v);
+  }
+  cell(x, x) = dbm_bound::zero();
+}
+
+void dbm::extrapolate(const std::vector<std::int32_t>& max_constants) {
+  require(max_constants.size() == dim(),
+          "dbm: need one max constant per clock incl. reference");
+  bool changed = false;
+  for (std::size_t i = 0; i < dim(); ++i) {
+    for (std::size_t j = 0; j < dim(); ++j) {
+      if (i == j) continue;
+      dbm_bound& b = cell(i, j);
+      if (b.is_inf()) continue;
+      if (i != 0 && b.value() > max_constants[i]) {
+        b = dbm_bound::infinity();
+        changed = true;
+      } else if (j != 0 && b.value() < -max_constants[j]) {
+        b = dbm_bound::lt(-max_constants[j]);
+        changed = true;
+      }
+    }
+  }
+  if (changed) canonicalize();
+}
+
+bool dbm::canonicalize() {
+  for (std::size_t k = 0; k < dim(); ++k) {
+    for (std::size_t i = 0; i < dim(); ++i) {
+      for (std::size_t j = 0; j < dim(); ++j) {
+        const dbm_bound via = cell(i, k) + cell(k, j);
+        if (via < cell(i, j)) cell(i, j) = via;
+      }
+    }
+  }
+  return !empty();
+}
+
+bool dbm::empty() const {
+  for (std::size_t i = 0; i < dim(); ++i) {
+    if (cell(i, i) < dbm_bound::zero()) return true;
+  }
+  return false;
+}
+
+bool dbm::subset_of(const dbm& other) const {
+  require(clocks_ == other.clocks_, "dbm: dimension mismatch");
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (!(bounds_[i] <= other.bounds_[i])) return false;
+  }
+  return true;
+}
+
+bool dbm::contains(const std::vector<std::int32_t>& point) const {
+  require(point.size() == clocks_, "dbm: point dimension mismatch");
+  const auto value_of = [&](std::size_t i) -> std::int32_t {
+    return i == 0 ? 0 : point[i - 1];
+  };
+  for (std::size_t i = 0; i < dim(); ++i) {
+    for (std::size_t j = 0; j < dim(); ++j) {
+      const dbm_bound b = cell(i, j);
+      if (b.is_inf()) continue;
+      const std::int32_t diff = value_of(i) - value_of(j);
+      if (b.strict() ? diff >= b.value() : diff > b.value()) return false;
+    }
+  }
+  return true;
+}
+
+std::size_t dbm::hash() const noexcept {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const dbm_bound& b : bounds_) {
+    h ^= static_cast<std::uint64_t>(
+        static_cast<std::uint32_t>(b.is_inf() ? dbm_bound::inf_raw
+                                              : (b.value() << 1) |
+                                                    (b.strict() ? 0 : 1)));
+    h *= 1099511628211ULL;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+std::string dbm::str() const {
+  std::string out;
+  for (std::size_t i = 0; i < dim(); ++i) {
+    for (std::size_t j = 0; j < dim(); ++j) {
+      out += cell(i, j).str();
+      out += (j + 1 == dim()) ? "\n" : "  ";
+    }
+  }
+  return out;
+}
+
+}  // namespace bsched::pta

@@ -1,0 +1,124 @@
+// Difference Bound Matrices — the zone representation used by dense-time
+// timed-automata reachability (and by Uppaal/Cora internally).
+//
+// A DBM over clocks x1..xn (x0 is the constant-zero reference clock) stores
+// for every ordered pair (i, j) a bound xi - xj < c or <= c. Bounds are
+// encoded in one int32: value << 1 | 1 for non-strict (<=), value << 1 for
+// strict (<); +infinity is a sentinel. Smaller encoded value = tighter
+// bound, so min() intersects bounds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bsched::pta {
+
+/// Encoded DBM bound.
+class dbm_bound {
+ public:
+  static constexpr std::int32_t inf_raw = INT32_MAX;
+
+  constexpr dbm_bound() : raw_(inf_raw) {}
+
+  [[nodiscard]] static constexpr dbm_bound infinity() { return dbm_bound{}; }
+  /// xi - xj <= value (non-strict) or < value (strict).
+  [[nodiscard]] static constexpr dbm_bound make(std::int32_t value,
+                                                bool strict) {
+    dbm_bound b;
+    b.raw_ = (value << 1) | (strict ? 0 : 1);
+    return b;
+  }
+  [[nodiscard]] static constexpr dbm_bound le(std::int32_t v) {
+    return make(v, false);
+  }
+  [[nodiscard]] static constexpr dbm_bound lt(std::int32_t v) {
+    return make(v, true);
+  }
+  /// The tightest bound `<= 0`, i.e. the diagonal of a canonical DBM.
+  [[nodiscard]] static constexpr dbm_bound zero() { return le(0); }
+
+  [[nodiscard]] constexpr bool is_inf() const { return raw_ == inf_raw; }
+  [[nodiscard]] constexpr std::int32_t value() const { return raw_ >> 1; }
+  [[nodiscard]] constexpr bool strict() const { return (raw_ & 1) == 0; }
+
+  /// Bound addition (path concatenation): (a, <=) + (b, <=) = (a+b, <=),
+  /// strict wins.
+  [[nodiscard]] constexpr dbm_bound operator+(dbm_bound other) const {
+    if (is_inf() || other.is_inf()) return infinity();
+    return make(value() + other.value(), strict() || other.strict());
+  }
+
+  /// Tighter-than: encoded comparison is exactly bound dominance.
+  [[nodiscard]] constexpr bool operator<(dbm_bound other) const {
+    return raw_ < other.raw_;
+  }
+  [[nodiscard]] constexpr bool operator<=(dbm_bound other) const {
+    return raw_ <= other.raw_;
+  }
+  friend constexpr bool operator==(dbm_bound, dbm_bound) = default;
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::int32_t raw_;
+};
+
+/// A zone over `clocks` clocks (excluding the reference clock).
+class dbm {
+ public:
+  /// The zone {all clocks = 0} (the initial zone).
+  [[nodiscard]] static dbm zero(std::size_t clocks);
+  /// The universal zone (clocks only constrained to be >= 0).
+  [[nodiscard]] static dbm universal(std::size_t clocks);
+
+  [[nodiscard]] std::size_t clocks() const noexcept { return clocks_; }
+
+  /// Bound on xi - xj (index 0 = reference clock).
+  [[nodiscard]] dbm_bound at(std::size_t i, std::size_t j) const;
+
+  /// Tightens xi - xj to `b` and restores canonical form incrementally.
+  /// Returns false when the zone became empty.
+  bool constrain(std::size_t i, std::size_t j, dbm_bound b);
+
+  /// Delay (future) operator: removes the upper bounds of all clocks.
+  void up();
+
+  /// Resets clock `x` to 0.
+  void reset(std::size_t x);
+
+  /// Assigns clock `x` the concrete value `v` (x := v).
+  void assign(std::size_t x, std::int32_t v);
+
+  /// Classic k-extrapolation with per-clock max constants (index 0 unused):
+  /// bounds above max[i] are abstracted away, bounds below -max[j] are
+  /// clamped. Guarantees finiteness of the zone graph.
+  void extrapolate(const std::vector<std::int32_t>& max_constants);
+
+  /// Full canonicalisation (Floyd-Warshall); returns false when empty.
+  bool canonicalize();
+
+  [[nodiscard]] bool empty() const;
+
+  /// Set inclusion (this subset-of other); both must be canonical.
+  [[nodiscard]] bool subset_of(const dbm& other) const;
+
+  /// True when the integer point `point` (one value per clock) lies inside.
+  [[nodiscard]] bool contains(const std::vector<std::int32_t>& point) const;
+
+  [[nodiscard]] std::size_t hash() const noexcept;
+  friend bool operator==(const dbm&, const dbm&) = default;
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  explicit dbm(std::size_t clocks);
+  [[nodiscard]] std::size_t dim() const noexcept { return clocks_ + 1; }
+  [[nodiscard]] dbm_bound& cell(std::size_t i, std::size_t j);
+  [[nodiscard]] const dbm_bound& cell(std::size_t i, std::size_t j) const;
+
+  std::size_t clocks_;
+  std::vector<dbm_bound> bounds_;  // row-major (clocks_+1)^2
+};
+
+}  // namespace bsched::pta

@@ -1,0 +1,118 @@
+#include "pta/mcr.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace bsched::pta {
+
+namespace {
+
+struct queue_item {
+  std::int64_t cost;
+  std::int64_t elapsed;
+  std::uint64_t order;  // FIFO tie-break for determinism
+  const dstate* state;  // owned by the visited map
+};
+
+struct item_greater {
+  bool operator()(const queue_item& a, const queue_item& b) const noexcept {
+    if (a.cost != b.cost) return a.cost > b.cost;
+    return a.order > b.order;
+  }
+};
+
+struct visit_info {
+  std::int64_t best_cost;
+  std::int64_t elapsed;
+  const dstate* parent;      // nullptr for the initial state
+  transition via;            // transition used to get here (target unused)
+};
+
+}  // namespace
+
+goal_predicate location_goal(automaton_id a, loc_id loc) {
+  return [a, loc](const dstate& s) {
+    return a < s.locations.size() && s.locations[a] == loc;
+  };
+}
+
+std::optional<mcr_result> min_cost_reach(const semantics& sem,
+                                         const goal_predicate& goal,
+                                         const mcr_options& opts) {
+  // The visited map owns every discovered state; queue items point into it
+  // (std::unordered_map never invalidates references on rehash).
+  std::unordered_map<dstate, visit_info, dstate_hash> visited;
+  std::priority_queue<queue_item, std::vector<queue_item>, item_greater> open;
+  mcr_stats stats;
+  std::uint64_t order = 0;
+
+  const dstate init = sem.initial();
+  const auto [init_it, inserted] =
+      visited.emplace(init, visit_info{0, 0, nullptr, {}});
+  BSCHED_ASSERT(inserted);
+  open.push({0, 0, order++, &init_it->first});
+
+  while (!open.empty()) {
+    const queue_item item = open.top();
+    open.pop();
+    const auto cur_it = visited.find(*item.state);
+    BSCHED_ASSERT(cur_it != visited.end());
+    if (item.cost > cur_it->second.best_cost) continue;  // stale entry
+    const dstate& cur = cur_it->first;
+
+    if (goal(cur)) {
+      mcr_result result;
+      result.cost = item.cost;
+      result.elapsed_steps = cur_it->second.elapsed;
+      result.goal = cur;
+      result.stats = stats;
+      if (opts.record_trace) {
+        const dstate* walk = &cur;
+        while (walk != nullptr) {
+          const visit_info& info = visited.at(*walk);
+          if (info.parent == nullptr) break;
+          result.trace.push_back({info.via.describe(sem.net()),
+                                  info.via.delay, info.via.cost});
+          walk = info.parent;
+        }
+        std::reverse(result.trace.begin(), result.trace.end());
+      }
+      return result;
+    }
+
+    ++stats.expanded;
+    require(stats.expanded <= opts.max_states,
+            "min_cost_reach: state budget exhausted");
+
+    for (transition& t : sem.successors(cur)) {
+      const std::int64_t cost = item.cost + t.cost;
+      const std::int64_t elapsed = cur_it->second.elapsed + t.delay;
+      const auto found = visited.find(t.target);
+      if (found != visited.end()) {
+        if (cost >= found->second.best_cost) {
+          ++stats.duplicates;
+          continue;
+        }
+        found->second.best_cost = cost;
+        found->second.elapsed = elapsed;
+        found->second.parent = &cur_it->first;
+        found->second.via = t;
+        open.push({cost, elapsed, order++, &found->first});
+      } else {
+        const auto [it, fresh] = visited.emplace(
+            std::move(t.target),
+            visit_info{cost, elapsed, &cur_it->first, {}});
+        BSCHED_ASSERT(fresh);
+        it->second.via = t;  // target member moved-from; unused afterwards
+        open.push({cost, elapsed, order++, &it->first});
+      }
+      ++stats.enqueued;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace bsched::pta

@@ -1,0 +1,246 @@
+#include "pta/zonegraph.hpp"
+
+#include <deque>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace bsched::pta {
+
+namespace {
+
+struct discrete_part {
+  std::vector<std::uint32_t> locations;
+  var_store vars;
+
+  friend bool operator==(const discrete_part&, const discrete_part&) = default;
+};
+
+struct discrete_hash {
+  std::size_t operator()(const discrete_part& d) const noexcept {
+    std::uint64_t h = 1469598103934665603ULL;
+    const auto mix = [&h](std::uint64_t w) {
+      h ^= w;
+      h *= 1099511628211ULL;
+    };
+    for (const std::uint32_t l : d.locations) mix(l);
+    for (const std::int64_t v : d.vars) mix(static_cast<std::uint64_t>(v));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Applies one clock constraint to a zone (bound evaluated on vars).
+/// Returns false when the zone becomes empty.
+bool apply_constraint(dbm& zone, const clock_constraint& cc,
+                      std::span<const std::int64_t> vars) {
+  const std::int64_t bound64 = cc.bound.eval(vars);
+  require(bound64 >= INT32_MIN && bound64 <= INT32_MAX,
+          "zonegraph: clock bound out of int32 range");
+  const auto bound = static_cast<std::int32_t>(bound64);
+  const std::size_t x = cc.clock + 1;  // DBM index (0 = reference)
+  switch (cc.op) {
+    case cmp::lt: return zone.constrain(x, 0, dbm_bound::lt(bound));
+    case cmp::le: return zone.constrain(x, 0, dbm_bound::le(bound));
+    case cmp::gt: return zone.constrain(0, x, dbm_bound::lt(-bound));
+    case cmp::ge: return zone.constrain(0, x, dbm_bound::le(-bound));
+    case cmp::eq:
+      return zone.constrain(x, 0, dbm_bound::le(bound)) &&
+             zone.constrain(0, x, dbm_bound::le(-bound));
+  }
+  return false;
+}
+
+bool apply_invariants(const network& net, dbm& zone,
+                      const discrete_part& d) {
+  for (automaton_id a = 0; a < net.automata_count(); ++a) {
+    const location& loc = net.at(a).locations()[d.locations[a]];
+    for (const clock_constraint& cc : loc.invariant) {
+      if (!apply_constraint(zone, cc, d.vars)) return false;
+    }
+  }
+  return true;
+}
+
+bool any_committed(const network& net, const discrete_part& d) {
+  for (automaton_id a = 0; a < net.automata_count(); ++a) {
+    if (net.at(a).locations()[d.locations[a]].committed) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::int32_t> clock_max_constants(const network& net) {
+  std::vector<std::int32_t> max_const(net.clock_count() + 1, 0);
+  const auto account = [&](const clock_constraint& cc) {
+    std::int64_t value;
+    if (cc.bound.is_constant()) {
+      value = cc.bound.eval({});
+    } else {
+      value = net.clock_cap(cc.clock);
+      require(value < INT32_MAX,
+              "zonegraph: variable clock bound needs a finite clock cap on " +
+                  net.clock_name(cc.clock));
+    }
+    require(value >= INT32_MIN && value <= INT32_MAX,
+            "zonegraph: clock constant out of range");
+    max_const[cc.clock + 1] = std::max(
+        max_const[cc.clock + 1],
+        static_cast<std::int32_t>(std::abs(value)));
+  };
+  for (automaton_id a = 0; a < net.automata_count(); ++a) {
+    for (const location& l : net.at(a).locations()) {
+      for (const clock_constraint& cc : l.invariant) account(cc);
+    }
+    for (const edge& e : net.at(a).edges()) {
+      for (const clock_constraint& cc : e.clock_guards) account(cc);
+    }
+  }
+  return max_const;
+}
+
+zg_result symbolic_reach(const network& net, const zg_goal& goal,
+                         const zg_options& opts) {
+  net.check();
+  for (automaton_id a = 0; a < net.automata_count(); ++a) {
+    for (const edge& e : net.at(a).edges()) {
+      require(e.dir == sync_dir::none || !net.is_broadcast(e.channel),
+              "zonegraph: broadcast channels are only supported by the "
+              "discrete engine");
+    }
+  }
+  const std::vector<std::int32_t> max_const = clock_max_constants(net);
+
+  struct sym_state {
+    discrete_part d;
+    dbm zone;
+  };
+
+  // Passed list: per discrete part, the list of maximal zones seen.
+  std::unordered_map<discrete_part, std::vector<dbm>, discrete_hash> passed;
+  std::deque<sym_state> waiting;
+  zg_result result;
+
+  const auto push = [&](discrete_part d, dbm zone) {
+    auto& zones = passed[d];
+    for (const dbm& z : zones) {
+      if (zone.subset_of(z)) return;  // already covered
+    }
+    std::erase_if(zones, [&](const dbm& z) { return z.subset_of(zone); });
+    zones.push_back(zone);
+    ++result.stored;
+    waiting.push_back({std::move(d), std::move(zone)});
+  };
+
+  // Initial symbolic state: all clocks zero, delayed under the invariants
+  // (no delay when a committed location is initial).
+  {
+    discrete_part d;
+    d.locations.reserve(net.automata_count());
+    for (automaton_id a = 0; a < net.automata_count(); ++a) {
+      d.locations.push_back(
+          static_cast<std::uint32_t>(net.at(a).initial()));
+    }
+    d.vars = net.initial_vars();
+    dbm zone = dbm::zero(net.clock_count());
+    require(apply_invariants(net, zone, d),
+            "zonegraph: initial state violates invariants");
+    if (!any_committed(net, d)) {
+      zone.up();
+      const bool ok = apply_invariants(net, zone, d);
+      BSCHED_ASSERT(ok);
+    }
+    zone.extrapolate(max_const);
+    push(std::move(d), std::move(zone));
+  }
+
+  // Fires `e` (and optionally the receiver `r` of automaton `b`) from
+  // (d, zone); pushes the successor when non-empty.
+  const auto fire = [&](const sym_state& s, automaton_id a, const edge& e,
+                        automaton_id b, const edge* r) {
+    dbm zone = s.zone;
+    for (const clock_constraint& cc : e.clock_guards) {
+      if (!apply_constraint(zone, cc, s.d.vars)) return;
+    }
+    if (r != nullptr) {
+      for (const clock_constraint& cc : r->clock_guards) {
+        if (!apply_constraint(zone, cc, s.d.vars)) return;
+      }
+    }
+    const auto apply_clock_effects = [&zone](const edge& ed,
+                                             const var_store& vars) {
+      for (const clock_id x : ed.resets) zone.reset(x + 1);
+      for (const clock_set& cs : ed.clock_sets) {
+        const std::int64_t v = cs.value.eval(vars);
+        require(v >= 0 && v <= INT32_MAX,
+                "zonegraph: clock assignment out of range");
+        zone.assign(cs.clock + 1, static_cast<std::int32_t>(v));
+      }
+    };
+    discrete_part d = s.d;
+    d.locations[a] = static_cast<std::uint32_t>(e.to);
+    for (const assignment& as : e.assignments) as.apply(d.vars);
+    apply_clock_effects(e, d.vars);
+    if (r != nullptr) {
+      d.locations[b] = static_cast<std::uint32_t>(r->to);
+      for (const assignment& as : r->assignments) as.apply(d.vars);
+      apply_clock_effects(*r, d.vars);
+    }
+    if (!apply_invariants(net, zone, d)) return;
+    if (!any_committed(net, d)) {
+      zone.up();
+      if (!apply_invariants(net, zone, d)) return;
+    }
+    zone.extrapolate(max_const);
+    push(std::move(d), std::move(zone));
+  };
+
+  while (!waiting.empty()) {
+    const sym_state s = std::move(waiting.front());
+    waiting.pop_front();
+
+    if (goal(s.d.locations, s.d.vars)) {
+      result.reachable = true;
+      return result;
+    }
+    ++result.explored;
+    require(result.explored <= opts.max_states,
+            "zonegraph: state budget exhausted");
+
+    const bool committed_mode = any_committed(net, s.d);
+    const auto from_committed = [&](automaton_id a) {
+      return net.at(a).locations()[s.d.locations[a]].committed;
+    };
+
+    for (automaton_id a = 0; a < net.automata_count(); ++a) {
+      const automaton& am = net.at(a);
+      for (const std::size_t ei : am.outgoing(s.d.locations[a])) {
+        const edge& e = am.edges()[ei];
+        if (e.guard.valid() && e.guard.eval(s.d.vars) == 0) continue;
+        if (e.dir == sync_dir::none) {
+          if (committed_mode && !from_committed(a)) continue;
+          fire(s, a, e, a, nullptr);
+        } else if (e.dir == sync_dir::send) {
+          for (automaton_id b = 0; b < net.automata_count(); ++b) {
+            if (b == a) continue;
+            if (committed_mode && !from_committed(a) && !from_committed(b)) {
+              continue;
+            }
+            const automaton& bm = net.at(b);
+            for (const std::size_t rj : bm.outgoing(s.d.locations[b])) {
+              const edge& r = bm.edges()[rj];
+              if (r.dir != sync_dir::receive || r.channel != e.channel) {
+                continue;
+              }
+              if (r.guard.valid() && r.guard.eval(s.d.vars) == 0) continue;
+              fire(s, a, e, b, &r);
+            }
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace bsched::pta

@@ -1,0 +1,46 @@
+// Dense-time symbolic reachability over DBM zones.
+//
+// Implements the classic forward zone-graph algorithm (waiting/passed lists
+// with zone inclusion and k-extrapolation) for networks of timed automata
+// with integer variables, binary channels and committed locations. This is
+// the dense-time counterpart of the discrete engine in semantics.hpp; the
+// tests check both agree on reachability for closed-guard models.
+// Broadcast channels are only supported by the discrete engine.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+
+#include "pta/dbm.hpp"
+#include "pta/model.hpp"
+
+namespace bsched::pta {
+
+/// Goal over the discrete part of a symbolic state.
+using zg_goal =
+    std::function<bool(std::span<const std::uint32_t> locations,
+                       std::span<const std::int64_t> vars)>;
+
+struct zg_options {
+  std::uint64_t max_states = 10'000'000;
+};
+
+struct zg_result {
+  bool reachable = false;
+  std::uint64_t explored = 0;   ///< Symbolic states expanded.
+  std::uint64_t stored = 0;     ///< Symbolic states kept in the passed list.
+};
+
+/// Is a goal state reachable (E<> goal, Section 3.2)?
+[[nodiscard]] zg_result symbolic_reach(const network& net, const zg_goal& goal,
+                                       const zg_options& opts = {});
+
+/// Per-clock maximum constants for extrapolation: the largest constant a
+/// clock is compared against anywhere in the model; clocks compared against
+/// variable bounds fall back to their declared cap (which must then be
+/// finite). Index 0 is the reference clock (always 0).
+[[nodiscard]] std::vector<std::int32_t> clock_max_constants(
+    const network& net);
+
+}  // namespace bsched::pta

@@ -1,0 +1,147 @@
+#include "sched/policy.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bsched::sched {
+
+namespace {
+
+/// First non-empty battery at or after `start`, cycling once around.
+std::optional<std::size_t> first_alive_from(
+    std::span<const battery_view> batteries, std::size_t start) {
+  const std::size_t n = batteries.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = (start + k) % n;
+    if (!batteries[i].empty) return i;
+  }
+  return std::nullopt;
+}
+
+class sequential_policy final : public policy {
+ public:
+  std::size_t choose(const decision_context& ctx) override {
+    const auto pick = first_alive_from(ctx.batteries, 0);
+    require(pick.has_value(), "sequential: all batteries empty");
+    return *pick;
+  }
+  std::string name() const override { return "sequential"; }
+};
+
+class round_robin_policy final : public policy {
+ public:
+  std::size_t choose(const decision_context& ctx) override {
+    const std::size_t start = next_;
+    const auto pick = first_alive_from(ctx.batteries, start);
+    require(pick.has_value(), "round robin: all batteries empty");
+    next_ = (*pick + 1) % ctx.batteries.size();
+    return *pick;
+  }
+  std::string name() const override { return "round robin"; }
+  void reset() override { next_ = 0; }
+
+ private:
+  std::size_t next_ = 0;
+};
+
+class best_of_n_policy final : public policy {
+ public:
+  std::size_t choose(const decision_context& ctx) override {
+    std::optional<std::size_t> best;
+    for (const battery_view& b : ctx.batteries) {
+      if (b.empty) continue;
+      if (!best ||
+          b.available_amin > ctx.batteries[*best].available_amin) {
+        best = b.index;
+      }
+    }
+    require(best.has_value(), "best-of-n: all batteries empty");
+    return *best;
+  }
+  std::string name() const override { return "best-of-n"; }
+};
+
+class worst_of_n_policy final : public policy {
+ public:
+  std::size_t choose(const decision_context& ctx) override {
+    std::optional<std::size_t> worst;
+    for (const battery_view& b : ctx.batteries) {
+      if (b.empty) continue;
+      if (!worst ||
+          b.available_amin < ctx.batteries[*worst].available_amin) {
+        worst = b.index;
+      }
+    }
+    require(worst.has_value(), "worst-of-n: all batteries empty");
+    return *worst;
+  }
+  std::string name() const override { return "worst-of-n"; }
+};
+
+class random_policy final : public policy {
+ public:
+  explicit random_policy(std::uint64_t seed) : seed_(seed), gen_(seed) {}
+
+  std::size_t choose(const decision_context& ctx) override {
+    std::vector<std::size_t> alive;
+    for (const battery_view& b : ctx.batteries) {
+      if (!b.empty) alive.push_back(b.index);
+    }
+    require(!alive.empty(), "random: all batteries empty");
+    return alive[gen_.below(alive.size())];
+  }
+  std::string name() const override { return "random"; }
+  void reset() override { gen_ = rng{seed_}; }
+
+ private:
+  std::uint64_t seed_;
+  rng gen_;
+};
+
+class fixed_schedule_policy final : public policy {
+ public:
+  explicit fixed_schedule_policy(std::vector<std::size_t> decisions)
+      : decisions_(std::move(decisions)) {}
+
+  std::size_t choose(const decision_context& ctx) override {
+    if (cursor_ < decisions_.size()) {
+      const std::size_t pick = decisions_[cursor_++];
+      require(pick < ctx.batteries.size() && !ctx.batteries[pick].empty,
+              "fixed schedule: decision list picks an unusable battery");
+      return pick;
+    }
+    return fallback_.choose(ctx);
+  }
+  std::string name() const override { return "fixed schedule"; }
+  void reset() override { cursor_ = 0; }
+
+ private:
+  std::vector<std::size_t> decisions_;
+  std::size_t cursor_ = 0;
+  best_of_n_policy fallback_;
+};
+
+}  // namespace
+
+std::unique_ptr<policy> sequential() {
+  return std::make_unique<sequential_policy>();
+}
+std::unique_ptr<policy> round_robin() {
+  return std::make_unique<round_robin_policy>();
+}
+std::unique_ptr<policy> best_of_n() {
+  return std::make_unique<best_of_n_policy>();
+}
+std::unique_ptr<policy> worst_of_n() {
+  return std::make_unique<worst_of_n_policy>();
+}
+std::unique_ptr<policy> random_choice(std::uint64_t seed) {
+  return std::make_unique<random_policy>(seed);
+}
+std::unique_ptr<policy> fixed_schedule(std::vector<std::size_t> decisions) {
+  return std::make_unique<fixed_schedule_policy>(std::move(decisions));
+}
+
+}  // namespace bsched::sched

@@ -1,0 +1,77 @@
+// Battery scheduling policies (Section 6).
+//
+// A policy is consulted at every `new_job` event: at the start of each job
+// and when the active battery is observed empty mid-job (the hand-over of
+// Section 4.3). It must pick a non-empty battery. Policies may keep state
+// (round robin does); `reset` is called when a simulation starts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bsched::sched {
+
+/// Immutable snapshot of one battery at a decision point.
+struct battery_view {
+  std::size_t index;       ///< Position in the battery bank.
+  double total_amin;       ///< Remaining total charge gamma.
+  double available_amin;   ///< Charge in the available well y1.
+  bool empty;              ///< Observed empty (unusable).
+};
+
+/// Everything a policy may base its decision on.
+struct decision_context {
+  std::size_t job_index;                    ///< 0-based job counter.
+  double time_min;                          ///< Absolute time.
+  double job_current_a;                     ///< Current of the job (segment).
+  bool handover;                            ///< True for mid-job hand-overs.
+  std::optional<std::size_t> previous;      ///< Battery serving the previous
+                                            ///< segment, if any.
+  std::span<const battery_view> batteries;  ///< One view per battery.
+};
+
+/// Scheduling policy interface.
+class policy {
+ public:
+  virtual ~policy() = default;
+
+  /// Index of the battery to serve this segment. Returning an empty battery
+  /// (or an out-of-range index) is a programming error the simulator rejects.
+  [[nodiscard]] virtual std::size_t choose(const decision_context& ctx) = 0;
+
+  /// Display name, e.g. "round robin".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Invoked when a fresh simulation starts.
+  virtual void reset() {}
+};
+
+/// Sequential discharge: drain battery 0 fully, then battery 1, ...
+/// (the paper proves this is the worst possible schedule).
+[[nodiscard]] std::unique_ptr<policy> sequential();
+
+/// Round robin: a new battery per job, cycling in fixed index order and
+/// skipping empty ones.
+[[nodiscard]] std::unique_ptr<policy> round_robin();
+
+/// Best-of-N (the paper's best-of-two generalised): the non-empty battery
+/// with the most available charge; ties break to the lowest index.
+[[nodiscard]] std::unique_ptr<policy> best_of_n();
+
+/// Adversarial twin of best-of-N: always the *least* available charge.
+/// Useful as a lower-bound baseline in ablations.
+[[nodiscard]] std::unique_ptr<policy> worst_of_n();
+
+/// Uniform random choice among non-empty batteries (deterministic in seed).
+[[nodiscard]] std::unique_ptr<policy> random_choice(std::uint64_t seed);
+
+/// Replays a precomputed decision list (e.g. an optimal schedule); falls
+/// back to best-of-N when the list is exhausted.
+[[nodiscard]] std::unique_ptr<policy> fixed_schedule(
+    std::vector<std::size_t> decisions);
+
+}  // namespace bsched::sched

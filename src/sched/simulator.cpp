@@ -1,0 +1,245 @@
+#include "sched/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace bsched::sched {
+
+namespace {
+
+std::size_t checked_choice(policy& pol, const decision_context& ctx) {
+  const std::size_t pick = pol.choose(ctx);
+  require(pick < ctx.batteries.size(),
+          "simulate: policy chose an out-of-range battery");
+  require(!ctx.batteries[pick].empty,
+          "simulate: policy chose an empty battery");
+  return pick;
+}
+
+}  // namespace
+
+sim_result simulate_discrete(const kibam::discretization& disc,
+                             std::size_t battery_count,
+                             const load::trace& load, policy& pol,
+                             const sim_options& opts) {
+  require(battery_count >= 1, "simulate: need at least one battery");
+  pol.reset();
+
+  std::vector<kibam::discrete_state> bats(battery_count,
+                                          kibam::full_discrete(disc));
+  const double t_step = disc.steps().time_step_min;
+  const double unit = disc.steps().charge_unit_amin;
+  const auto sample_period = std::max<std::int64_t>(
+      1, std::llround(opts.sample_min / t_step));
+
+  sim_result res;
+  std::int64_t step_count = 0;
+  std::size_t job_index = 0;
+  std::optional<std::size_t> previous;
+
+  const auto make_views = [&] {
+    std::vector<battery_view> views;
+    views.reserve(battery_count);
+    for (std::size_t i = 0; i < battery_count; ++i) {
+      const auto& b = bats[i];
+      views.push_back(
+          {i, static_cast<double>(b.n) * unit,
+           static_cast<double>(disc.available_permille(b.n, b.m)) * unit /
+               1000.0,
+           b.empty});
+    }
+    return views;
+  };
+
+  const auto record = [&](int active) {
+    if (!opts.record_trace || step_count % sample_period != 0) return;
+    trace_point pt;
+    pt.time_min = static_cast<double>(step_count) * t_step;
+    pt.active = active;
+    for (const auto& b : bats) {
+      pt.total_amin.push_back(static_cast<double>(b.n) * unit);
+      const kibam::state cont = disc.to_continuous(b.n, b.m);
+      pt.available_amin.push_back(
+          kibam::available_charge(disc.params(), cont));
+    }
+    res.trace.push_back(std::move(pt));
+  };
+
+  const auto finish = [&] {
+    res.lifetime_min = static_cast<double>(step_count) * t_step;
+    double residual = 0;
+    for (const auto& b : bats) residual += static_cast<double>(b.n) * unit;
+    res.residual_amin = residual;
+  };
+
+  record(-1);
+  load::epoch_cursor cursor{load};
+  while (static_cast<double>(step_count) * t_step < opts.horizon_min) {
+    const load::epoch& e = cursor.current();
+    const auto epoch_steps =
+        static_cast<std::int64_t>(std::llround(e.duration_min / t_step));
+    if (e.current_a <= 0) {
+      for (std::int64_t i = 0; i < epoch_steps; ++i) {
+        ++step_count;
+        for (auto& b : bats) kibam::step(disc, b, {0, 0});
+        record(-1);
+      }
+    } else {
+      const load::draw_rate rate = load::rate_for(e.current_a, disc.steps());
+      const auto views = make_views();
+      std::size_t active = checked_choice(
+          pol, {job_index, static_cast<double>(step_count) * t_step,
+                e.current_a, false, previous, views});
+      res.decisions.push_back({static_cast<double>(step_count) * t_step,
+                               active, job_index, false});
+      bats[active].discharge_elapsed = 0;  // go_on resets c_disch
+      for (std::int64_t i = 0; i < epoch_steps; ++i) {
+        ++step_count;
+        kibam::step_event ev = kibam::step_event::none;
+        for (std::size_t b = 0; b < battery_count; ++b) {
+          const auto e_b = kibam::step(
+              disc, bats[b], b == active ? rate : load::draw_rate{0, 0});
+          if (b == active) ev = e_b;
+        }
+        if (ev == kibam::step_event::died) {
+          const bool all_empty = std::ranges::all_of(
+              bats, [](const auto& b) { return b.empty; });
+          if (all_empty) {
+            finish();
+            record(static_cast<int>(active));
+            return res;
+          }
+          const auto hand_views = make_views();
+          active = checked_choice(
+              pol, {job_index, static_cast<double>(step_count) * t_step,
+                    e.current_a, true, active, hand_views});
+          res.decisions.push_back({static_cast<double>(step_count) * t_step,
+                                   active, job_index, true});
+          bats[active].discharge_elapsed = 0;
+        }
+        record(static_cast<int>(active));
+      }
+      previous = active;
+      ++job_index;
+    }
+    cursor.advance();
+  }
+  throw error("simulate_discrete: system survived the analysis horizon");
+}
+
+sim_result simulate_continuous(
+    const std::vector<kibam::battery_parameters>& batteries,
+    const load::trace& load, policy& pol, const sim_options& opts) {
+  require(!batteries.empty(), "simulate: need at least one battery");
+  for (const auto& p : batteries) kibam::validate(p);
+  pol.reset();
+
+  const std::size_t count = batteries.size();
+  std::vector<kibam::state> states;
+  states.reserve(count);
+  for (const auto& p : batteries) states.push_back(kibam::full(p));
+  std::vector<bool> empty(count, false);
+
+  sim_result res;
+  double now = 0;
+  std::size_t job_index = 0;
+  std::optional<std::size_t> previous;
+
+  const auto make_views = [&] {
+    std::vector<battery_view> views;
+    views.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      views.push_back({i, states[i].gamma,
+                       kibam::available_charge(batteries[i], states[i]),
+                       empty[i] != false});
+    }
+    return views;
+  };
+
+  const auto record = [&](int active) {
+    if (!opts.record_trace) return;
+    trace_point pt;
+    pt.time_min = now;
+    pt.active = active;
+    for (std::size_t i = 0; i < count; ++i) {
+      pt.total_amin.push_back(states[i].gamma);
+      pt.available_amin.push_back(
+          kibam::available_charge(batteries[i], states[i]));
+    }
+    res.trace.push_back(std::move(pt));
+  };
+
+  // Advances every battery by dt; `active` (if any) draws `current`.
+  const auto advance_all = [&](double dt, std::optional<std::size_t> active,
+                               double current) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const double draw = (active && *active == i) ? current : 0.0;
+      states[i] = kibam::advance(batteries[i], states[i], draw, dt);
+    }
+    now += dt;
+  };
+
+  // Advances in sampling sub-steps so the recorded trace is dense.
+  const auto advance_recorded = [&](double dt,
+                                    std::optional<std::size_t> active,
+                                    double current) {
+    if (!opts.record_trace) {
+      advance_all(dt, active, current);
+      return;
+    }
+    double remaining = dt;
+    while (remaining > 1e-12) {
+      const double sub = std::min(opts.sample_min, remaining);
+      advance_all(sub, active, current);
+      remaining -= sub;
+      record(active ? static_cast<int>(*active) : -1);
+    }
+  };
+
+  record(-1);
+  load::epoch_cursor cursor{load};
+  while (now < opts.horizon_min) {
+    const load::epoch& e = cursor.current();
+    if (e.current_a <= 0) {
+      advance_recorded(e.duration_min, std::nullopt, 0);
+      cursor.advance();
+      continue;
+    }
+    double left = e.duration_min;
+    const auto views = make_views();
+    std::size_t active = checked_choice(
+        pol, {job_index, now, e.current_a, false, previous, views});
+    res.decisions.push_back({now, active, job_index, false});
+    while (left > 1e-12) {
+      const auto death = kibam::time_to_empty(batteries[active],
+                                              states[active], e.current_a,
+                                              left);
+      if (!death) {
+        advance_recorded(left, active, e.current_a);
+        break;
+      }
+      advance_recorded(*death, active, e.current_a);
+      left -= *death;
+      empty[active] = true;
+      if (std::ranges::all_of(empty, [](bool b) { return b; })) {
+        res.lifetime_min = now;
+        double residual = 0;
+        for (const auto& s : states) residual += s.gamma;
+        res.residual_amin = residual;
+        return res;
+      }
+      const auto hand_views = make_views();
+      active = checked_choice(
+          pol, {job_index, now, e.current_a, true, active, hand_views});
+      res.decisions.push_back({now, active, job_index, true});
+    }
+    previous = active;
+    ++job_index;
+    cursor.advance();
+  }
+  throw error("simulate_continuous: system survived the analysis horizon");
+}
+
+}  // namespace bsched::sched

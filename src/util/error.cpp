@@ -1,0 +1,14 @@
+#include "util/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bsched::detail {
+
+void assert_fail(const char* expr, std::source_location loc) {
+  std::fprintf(stderr, "bsched invariant violated: %s at %s:%u (%s)\n", expr,
+               loc.file_name(), loc.line(), loc.function_name());
+  std::abort();
+}
+
+}  // namespace bsched::detail

@@ -1,0 +1,37 @@
+// Error handling for the bsched library.
+//
+// Public API boundaries throw `bsched::error` on precondition violations;
+// internal invariants use `BSCHED_ASSERT`, which is active in all build
+// types (the library is a research artifact: silent corruption is worse
+// than an abort).
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace bsched {
+
+/// Exception thrown on violated preconditions at public API boundaries.
+class error : public std::runtime_error {
+ public:
+  explicit error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws `bsched::error` with `message` unless `condition` holds.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw error(message);
+}
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, std::source_location loc);
+}  // namespace detail
+
+}  // namespace bsched
+
+/// Internal invariant check; aborts with location info when violated.
+/// Active in every build type.
+#define BSCHED_ASSERT(expr)                                                  \
+  ((expr) ? static_cast<void>(0)                                            \
+          : ::bsched::detail::assert_fail(#expr,                            \
+                                          std::source_location::current()))

@@ -1,0 +1,66 @@
+// The lamp example of Section 3 (Figures 2-4), used as a shared fixture by
+// the PTA engine tests: a lamp with off/low/bright locations, a user who
+// presses the button, automatic switch-off after 10 time units, switch-on
+// cost 50 and burn rates 10 (low) / 20 (bright).
+#pragma once
+
+#include "pta/model.hpp"
+
+namespace bsched::pta::testutil {
+
+struct lamp_model {
+  network net;
+  automaton_id lamp = npos;
+  automaton_id user = npos;
+  loc_id off = npos;
+  loc_id low = npos;
+  loc_id bright = npos;
+  var_ref presses;  ///< Counts user presses (for goals).
+  var_ref brights;  ///< Counts entries into `bright` (for goals).
+};
+
+inline lamp_model make_lamp() {
+  lamp_model m;
+  network& net = m.net;
+  const clock_id y = net.add_clock("y", 11);
+  const chan_id press = net.add_channel("press");
+  m.presses = net.add_var("presses", 0);
+  m.brights = net.add_var("brights", 0);
+
+  m.lamp = net.add_automaton("lamp");
+  automaton& lamp = net.at(m.lamp);
+  m.off = lamp.add_location({"off", false, {}, {}});
+  m.low = lamp.add_location(
+      {"low", false, {clock_constraint{y, cmp::le, lit(10)}}, lit(10)});
+  m.bright = lamp.add_location(
+      {"bright", false, {clock_constraint{y, cmp::le, lit(10)}}, lit(20)});
+  lamp.set_initial(m.off);
+
+  // off -> low: switch on, pay 50, start the burn timer.
+  lamp.add_edge({m.off, m.low, {}, {}, press, sync_dir::receive, {}, {y},
+                 {}, lit(50)});
+  // low -> bright: second press within 5 time units.
+  lamp.add_edge({m.low, m.bright,
+                 {clock_constraint{y, cmp::lt, lit(5)}},
+                 {}, press, sync_dir::receive,
+                 {{m.brights.lv(), expr{m.brights} + lit(1)}}, {}, {}, {}});
+  // low -> off: second press after 5 time units.
+  lamp.add_edge({m.low, m.off,
+                 {clock_constraint{y, cmp::ge, lit(5)}},
+                 {}, press, sync_dir::receive, {}, {}, {}, {}});
+  // Automatic switch-off at the 10-unit deadline.
+  lamp.add_edge({m.low, m.off, {clock_constraint{y, cmp::ge, lit(10)}},
+                 {}, npos, sync_dir::none, {}, {}, {}, {}});
+  lamp.add_edge({m.bright, m.off, {clock_constraint{y, cmp::ge, lit(10)}},
+                 {}, npos, sync_dir::none, {}, {}, {}, {}});
+
+  m.user = net.add_automaton("user");
+  automaton& user = net.at(m.user);
+  const loc_id idle = user.add_location({"idle", false, {}, {}});
+  user.set_initial(idle);
+  user.add_edge({idle, idle, {}, {}, press, sync_dir::send,
+                 {{m.presses.lv(), expr{m.presses} + lit(1)}}, {}, {}, {}});
+  return m;
+}
+
+}  // namespace bsched::pta::testutil

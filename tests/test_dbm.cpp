@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "pta/dbm.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bsched::pta {
+namespace {
+
+TEST(DbmBound, EncodingOrdersByTightness) {
+  EXPECT_TRUE(dbm_bound::lt(5) < dbm_bound::le(5));
+  EXPECT_TRUE(dbm_bound::le(4) < dbm_bound::lt(5));
+  EXPECT_TRUE(dbm_bound::le(5) < dbm_bound::infinity());
+  EXPECT_EQ(dbm_bound::le(3) + dbm_bound::le(4), dbm_bound::le(7));
+  EXPECT_EQ(dbm_bound::le(3) + dbm_bound::lt(4), dbm_bound::lt(7));
+  EXPECT_TRUE((dbm_bound::infinity() + dbm_bound::le(1)).is_inf());
+}
+
+TEST(Dbm, ZeroZoneContainsOnlyOrigin) {
+  const dbm z = dbm::zero(2);
+  EXPECT_FALSE(z.empty());
+  EXPECT_TRUE(z.contains({0, 0}));
+  EXPECT_FALSE(z.contains({1, 0}));
+  EXPECT_FALSE(z.contains({0, 1}));
+}
+
+TEST(Dbm, UpAllowsUniformDelay) {
+  dbm z = dbm::zero(2);
+  z.up();
+  // After delay both clocks advanced by the same amount.
+  EXPECT_TRUE(z.contains({3, 3}));
+  EXPECT_TRUE(z.contains({10, 10}));
+  EXPECT_FALSE(z.contains({3, 4}));  // clocks advance in lock-step
+}
+
+TEST(Dbm, ConstrainCutsTheZone) {
+  dbm z = dbm::zero(2);
+  z.up();
+  ASSERT_TRUE(z.constrain(1, 0, dbm_bound::le(5)));  // x1 <= 5
+  EXPECT_TRUE(z.contains({5, 5}));
+  EXPECT_FALSE(z.contains({6, 6}));
+  // Tightening to emptiness is reported.
+  EXPECT_FALSE(z.constrain(0, 1, dbm_bound::lt(-7)));  // x1 > 7: empty
+  EXPECT_TRUE(z.empty());
+}
+
+TEST(Dbm, ResetProjectsOneClock) {
+  dbm z = dbm::zero(2);
+  z.up();
+  ASSERT_TRUE(z.constrain(1, 0, dbm_bound::le(5)));
+  z.reset(1);  // x1 := 0
+  EXPECT_TRUE(z.contains({0, 0}));
+  EXPECT_TRUE(z.contains({0, 5}));
+  EXPECT_FALSE(z.contains({1, 5}));
+}
+
+TEST(Dbm, AssignSetsConcreteValue) {
+  dbm z = dbm::zero(2);
+  z.up();
+  z.assign(1, 7);
+  EXPECT_TRUE(z.contains({7, 0}));
+  EXPECT_TRUE(z.contains({7, 4}));
+  EXPECT_FALSE(z.contains({6, 4}));
+}
+
+TEST(Dbm, SubsetReflexiveAndOrdered) {
+  dbm big = dbm::zero(1);
+  big.up();
+  dbm small = big;
+  ASSERT_TRUE(small.constrain(1, 0, dbm_bound::le(3)));
+  EXPECT_TRUE(small.subset_of(big));
+  EXPECT_FALSE(big.subset_of(small));
+  EXPECT_TRUE(big.subset_of(big));
+}
+
+TEST(Dbm, CanonicalizeIsIdempotent) {
+  dbm z = dbm::universal(3);
+  ASSERT_TRUE(z.constrain(1, 0, dbm_bound::le(10)));
+  ASSERT_TRUE(z.constrain(2, 1, dbm_bound::le(2)));
+  const dbm once = z;
+  dbm twice = z;
+  twice.canonicalize();
+  EXPECT_EQ(once, twice);
+  // Derived bound: x2 <= x1 + 2 <= 12.
+  EXPECT_TRUE(once.at(2, 0) <= dbm_bound::le(12));
+}
+
+TEST(Dbm, ExtrapolationPreservesSmallPoints) {
+  dbm z = dbm::zero(1);
+  z.up();
+  ASSERT_TRUE(z.constrain(1, 0, dbm_bound::le(100)));
+  ASSERT_TRUE(z.constrain(0, 1, dbm_bound::le(-90)));  // x1 >= 90
+  dbm e = z;
+  e.extrapolate({0, 10});  // max constant 10 << 90
+  // Extrapolation only grows the zone.
+  EXPECT_TRUE(z.subset_of(e));
+  EXPECT_TRUE(e.contains({95}));
+}
+
+TEST(Dbm, RandomizedConstrainContainment) {
+  // Property: after constraining with x_i - x_j <= c, exactly the points
+  // satisfying all applied constraints remain (up to canonical closure).
+  rng gen{2024};
+  for (int round = 0; round < 50; ++round) {
+    dbm z = dbm::zero(2);
+    z.up();
+    std::vector<std::array<std::int32_t, 3>> constraints;  // i, j, c
+    bool alive = true;
+    for (int k = 0; k < 4 && alive; ++k) {
+      const auto i = static_cast<std::size_t>(gen.below(3));
+      std::size_t j = static_cast<std::size_t>(gen.below(3));
+      if (i == j) j = (j + 1) % 3;
+      const auto c = static_cast<std::int32_t>(gen.below(21)) - 5;
+      constraints.push_back({static_cast<std::int32_t>(i),
+                             static_cast<std::int32_t>(j), c});
+      alive = z.constrain(i, j, dbm_bound::le(c));
+    }
+    if (!alive) continue;
+    for (int sample = 0; sample < 30; ++sample) {
+      const auto a = static_cast<std::int32_t>(gen.below(12));
+      const auto b = static_cast<std::int32_t>(gen.below(12));
+      const std::vector<std::int32_t> point{a, b};
+      const auto value = [&](std::int32_t idx) {
+        return idx == 0 ? 0 : point[static_cast<std::size_t>(idx) - 1];
+      };
+      bool expected = a == b || true;
+      // Base zone after up(): x1 == x2 (both started at 0), x >= 0.
+      expected = (a == b);
+      for (const auto& c : constraints) {
+        expected = expected && (value(c[0]) - value(c[1]) <= c[2]);
+      }
+      EXPECT_EQ(z.contains(point), expected)
+          << "round " << round << " point (" << a << "," << b << ")";
+    }
+  }
+}
+
+TEST(Dbm, HashDistinguishesZones) {
+  dbm a = dbm::zero(2);
+  a.up();
+  dbm b = a;
+  ASSERT_TRUE(b.constrain(1, 0, dbm_bound::le(5)));
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_EQ(a.hash(), dbm{a}.hash());
+}
+
+TEST(Dbm, RejectsBadIndices) {
+  dbm z = dbm::zero(1);
+  EXPECT_THROW(z.constrain(0, 0, dbm_bound::le(1)), bsched::error);
+  EXPECT_THROW(z.reset(0), bsched::error);
+  EXPECT_THROW(z.constrain(5, 0, dbm_bound::le(1)), bsched::error);
+}
+
+}  // namespace
+}  // namespace bsched::pta

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kibam/discrete.hpp"
+#include "load/jobs.hpp"
+#include "util/error.hpp"
+
+namespace bsched::kibam {
+namespace {
+
+discretization paper_disc_b1() { return discretization{battery_b1()}; }
+
+TEST(Discretization, PaperConstants) {
+  const discretization d = paper_disc_b1();
+  EXPECT_EQ(d.total_units(), 550);  // 5.5 / 0.01
+  EXPECT_EQ(d.c_permille(), 166);
+  EXPECT_EQ(discretization{battery_b2()}.total_units(), 1100);
+}
+
+TEST(Discretization, RecoveryTableMatchesEq6) {
+  const discretization d = paper_disc_b1();
+  // t(m) = ln(m/(m-1)) / k', in steps of 0.01 min, rounded to nearest.
+  EXPECT_EQ(d.recovery_steps(2),
+            std::llround(std::log(2.0) / 0.122 / 0.01));  // 568
+  EXPECT_EQ(d.recovery_steps(2), 568);
+  EXPECT_EQ(d.recovery_steps(10),
+            std::llround(std::log(10.0 / 9.0) / 0.122 / 0.01));
+  // Monotone decreasing in m: higher height difference recovers faster.
+  for (std::int64_t m = 3; m < 400; ++m) {
+    EXPECT_LE(d.recovery_steps(m), d.recovery_steps(m - 1)) << m;
+  }
+  EXPECT_THROW((void)d.recovery_steps(1), bsched::error);
+}
+
+TEST(Discretization, EmptyConditionPermille) {
+  const discretization d = paper_disc_b1();
+  // (1000 - c) m >= c n with c = 166.
+  EXPECT_FALSE(d.is_empty(550, 0));
+  EXPECT_TRUE(d.is_empty(0, 1));
+  EXPECT_TRUE(d.is_empty(100, 20));   // 834*20 = 16680 >= 16600
+  EXPECT_FALSE(d.is_empty(100, 19));  // 834*19 = 15846 < 16600
+}
+
+TEST(Discretization, AvailablePermilleTracksContinuousY1) {
+  const discretization d = paper_disc_b1();
+  const std::int64_t n = 300, m = 40;
+  const state cont = d.to_continuous(n, m);
+  const double y1 = available_charge(d.params(), cont);
+  const double scaled = static_cast<double>(d.available_permille(n, m)) *
+                        d.steps().charge_unit_amin / 1000.0;
+  EXPECT_NEAR(y1, scaled, 1e-9);
+}
+
+TEST(DiscreteStep, DrawsEveryCurTimesSteps) {
+  const discretization d = paper_disc_b1();
+  discrete_state s = full_discrete(d);
+  const load::draw_rate rate{1, 4};  // 250 mA
+  int draws = 0;
+  for (int i = 0; i < 40; ++i) {
+    if (step(d, s, rate) == step_event::drew) ++draws;
+  }
+  EXPECT_EQ(draws, 10);
+  EXPECT_EQ(s.n, 540);
+  EXPECT_EQ(s.m, 10);
+}
+
+TEST(DiscreteStep, IdleOnlyRecovers) {
+  const discretization d = paper_disc_b1();
+  discrete_state s = full_discrete(d);
+  s.m = 10;
+  const std::int64_t n_before = s.n;
+  // recovery_steps(10) steps later m must have dropped by exactly 1.
+  const std::int64_t wait = d.recovery_steps(10);
+  for (std::int64_t i = 0; i < wait; ++i) step(d, s, {0, 0});
+  EXPECT_EQ(s.m, 9);
+  EXPECT_EQ(s.n, n_before);
+}
+
+TEST(DiscreteStep, NoRecoveryBelowTwo) {
+  const discretization d = paper_disc_b1();
+  discrete_state s = full_discrete(d);
+  s.m = 1;
+  for (int i = 0; i < 100'000; ++i) step(d, s, {0, 0});
+  EXPECT_EQ(s.m, 1);  // eq. (6) diverges at m = 1; no recovery possible
+}
+
+TEST(DiscreteStep, DeathObservedOnDraw) {
+  const discretization d = paper_disc_b1();
+  discrete_state s = full_discrete(d);
+  // Arrange a state one draw away from empty: after the draw m/n trip (8).
+  s.n = 100;
+  s.m = 19;  // not empty; drawing makes n=99, m=20 -> 834*20 >= 166*99
+  s.discharge_elapsed = 3;
+  const auto ev = step(d, s, {1, 4});
+  EXPECT_EQ(ev, step_event::died);
+  EXPECT_TRUE(s.empty);
+  // Empty batteries never draw again.
+  const auto after = step(d, s, {1, 4});
+  EXPECT_EQ(after, step_event::none);
+  EXPECT_EQ(s.n, 99);
+}
+
+// --- TA-KiBaM validation columns (Tables 3 and 4, dKiBaM). ---
+
+struct ta_case {
+  load::test_load load;
+  double b1_lifetime;  // Table 3, TA-KiBaM column
+  double b2_lifetime;  // Table 4, TA-KiBaM column
+};
+
+const ta_case k_ta_cases[] = {
+    {load::test_load::cl_250, 4.56, 12.28},
+    {load::test_load::cl_500, 2.04, 4.54},
+    {load::test_load::cl_alt, 2.60, 6.52},
+    {load::test_load::ils_250, 10.84, 44.80},
+    {load::test_load::ils_500, 4.32, 10.84},
+    {load::test_load::ils_alt, 4.82, 16.94},
+    {load::test_load::ils_r1, 4.74, 22.74},
+    {load::test_load::ils_r2, 4.74, 14.84},
+    {load::test_load::ill_250, 21.88, 84.92},
+    {load::test_load::ill_500, 6.56, 21.88},
+};
+
+class DiscreteLifetime : public testing::TestWithParam<ta_case> {};
+
+// Our per-step ordering reproduces most rows exactly; the published model's
+// unspecified transition ordering can shift a death by one discharge tick,
+// so the tolerance is one tick (0.04 min at 250 mA) — see EXPERIMENTS.md.
+TEST_P(DiscreteLifetime, MatchesTaKibamB1WithinOneTick) {
+  const ta_case& c = GetParam();
+  const discretization d = paper_disc_b1();
+  const double lt = discrete_lifetime(d, load::paper_trace(c.load));
+  EXPECT_NEAR(lt, c.b1_lifetime, 0.045) << load::name(c.load);
+}
+
+TEST_P(DiscreteLifetime, MatchesTaKibamB2WithinOneTick) {
+  const ta_case& c = GetParam();
+  const discretization d{battery_b2()};
+  const double lt = discrete_lifetime(d, load::paper_trace(c.load));
+  EXPECT_NEAR(lt, c.b2_lifetime, 0.045) << load::name(c.load);
+}
+
+TEST_P(DiscreteLifetime, WithinOnePercentOfAnalytic) {
+  // The paper's own validation criterion (Section 5): the discretized
+  // model deviates from the analytic KiBaM by at most ~1%.
+  const ta_case& c = GetParam();
+  for (const auto& battery : {battery_b1(), battery_b2()}) {
+    const discretization d{battery};
+    const load::trace t = load::paper_trace(c.load);
+    const double discrete = discrete_lifetime(d, t);
+    const double analytic = lifetime(battery, t);
+    EXPECT_NEAR(discrete, analytic, 0.012 * analytic) << load::name(c.load);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperLoads, DiscreteLifetime, testing::ValuesIn(k_ta_cases),
+    [](const testing::TestParamInfo<ta_case>& pinfo) {
+      std::string n = load::name(pinfo.param.load);
+      for (char& ch : n) {
+        if (ch == ' ') ch = '_';
+      }
+      return n;
+    });
+
+TEST(DiscreteLifetimeRefinement, FinerGridReducesError) {
+  const battery_parameters p = battery_b1();
+  const load::trace t = load::paper_trace(load::test_load::cl_250);
+  const double analytic = lifetime(p, t);
+  const double coarse = discrete_lifetime(
+      discretization{p, {0.01, 0.05}}, t);
+  const double fine = discrete_lifetime(
+      discretization{p, {0.005, 0.005}}, t);
+  EXPECT_LE(std::abs(fine - analytic), std::abs(coarse - analytic) + 1e-9);
+  EXPECT_NEAR(fine, analytic, 0.01 * analytic);
+}
+
+TEST(Discretization, RejectsNonIntegralCapacity) {
+  battery_parameters p = battery_b1();
+  p.capacity_amin = 5.5037;  // not a multiple of 0.01
+  EXPECT_THROW(discretization{p}, bsched::error);
+}
+
+}  // namespace
+}  // namespace bsched::kibam

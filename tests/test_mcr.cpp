@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "lamp_fixture.hpp"
+#include "pta/mcr.hpp"
+#include "util/error.hpp"
+
+namespace bsched::pta {
+namespace {
+
+using testutil::make_lamp;
+
+TEST(Mcr, CheapestPathToBright) {
+  // Reaching bright requires press (50) + press within y < 5; delaying in
+  // `low` costs 10/step, so the optimum presses immediately: cost 50.
+  const auto m = make_lamp();
+  const semantics sem{m.net};
+  const auto r = min_cost_reach(sem, location_goal(m.lamp, m.bright));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->cost, 50);
+  EXPECT_EQ(r->elapsed_steps, 0);
+}
+
+TEST(Mcr, AvoidsBrightWhenOffIsTheGoal) {
+  // Goal: lamp off again after >= 2 presses. The cheap route skips bright
+  // entirely: press (50), wait 5 in low (y >= 5, cost 50), press -> off.
+  const auto m = make_lamp();
+  const semantics sem{m.net};
+  const automaton_id lamp = m.lamp;
+  const loc_id off = m.off;
+  const std::size_t presses_slot = m.presses.slot;
+  const auto goal = [lamp, off, presses_slot](const dstate& s) {
+    return s.locations[lamp] == off && s.vars[presses_slot] >= 2;
+  };
+  const auto r = min_cost_reach(sem, goal);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->cost, 100);
+  EXPECT_EQ(r->elapsed_steps, 5);
+}
+
+TEST(Mcr, ExploitsCheapLocationBeforeExpensiveOne) {
+  // Goal: lamp off again after having shone brightly. Burning costs
+  // 10/step in low and 20/step in bright, and the auto-off fires at the
+  // y = 10 deadline, so the optimum lingers in cheap `low` as long as the
+  // y < 5 guard allows: press (50), wait 4 (40), press (bright), wait 6
+  // to the deadline (120) — total 210.
+  const auto m = make_lamp();
+  const semantics sem{m.net};
+  const automaton_id lamp = m.lamp;
+  const loc_id off = m.off;
+  const std::size_t brights_slot = m.brights.slot;
+  const auto goal = [lamp, off, brights_slot](const dstate& s) {
+    return s.locations[lamp] == off && s.vars[brights_slot] >= 1;
+  };
+  const auto r = min_cost_reach(sem, goal);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->cost, 210);
+  EXPECT_EQ(r->elapsed_steps, 10);
+}
+
+TEST(Mcr, TraceReconstructionIsConsistent) {
+  const auto m = make_lamp();
+  const semantics sem{m.net};
+  const auto r = min_cost_reach(sem, location_goal(m.lamp, m.bright));
+  ASSERT_TRUE(r.has_value());
+  std::int64_t cost = 0, steps = 0;
+  for (const trace_step& ts : r->trace) {
+    cost += ts.cost;
+    steps += ts.delay;
+    EXPECT_FALSE(ts.description.empty());
+  }
+  EXPECT_EQ(cost, r->cost);
+  EXPECT_EQ(steps, r->elapsed_steps);
+}
+
+TEST(Mcr, UnreachableGoalReturnsNullopt) {
+  // A lamp whose `bright` guard is impossible (y < 0).
+  auto m = make_lamp();
+  network net;  // rebuild with an impossible guard
+  {
+    const clock_id y = net.add_clock("y", 11);
+    const chan_id press = net.add_channel("press");
+    const automaton_id lamp = net.add_automaton("lamp");
+    automaton& a = net.at(lamp);
+    const loc_id off = a.add_location({"off", false, {}, {}});
+    const loc_id low = a.add_location(
+        {"low", false, {clock_constraint{y, cmp::le, lit(10)}}, {}});
+    const loc_id bright = a.add_location({"bright", false, {}, {}});
+    a.set_initial(off);
+    a.add_edge({off, low, {}, {}, press, sync_dir::receive, {}, {y}, {}, {}});
+    a.add_edge({low, bright, {clock_constraint{y, cmp::lt, lit(0)}},
+                {}, press, sync_dir::receive, {}, {}, {}, {}});
+    a.add_edge({low, off, {clock_constraint{y, cmp::ge, lit(10)}},
+                {}, npos, sync_dir::none, {}, {}, {}, {}});
+    const automaton_id user = net.add_automaton("user");
+    automaton& u = net.at(user);
+    const loc_id idle = u.add_location({"idle", false, {}, {}});
+    u.set_initial(idle);
+    u.add_edge({idle, idle, {}, {}, press, sync_dir::send, {}, {}, {}, {}});
+
+    const semantics sem{net};
+    const auto r = min_cost_reach(sem, location_goal(lamp, bright));
+    EXPECT_FALSE(r.has_value());
+  }
+}
+
+TEST(Mcr, StateBudgetEnforced) {
+  const auto m = make_lamp();
+  const semantics sem{m.net};
+  mcr_options opts;
+  opts.max_states = 1;
+  const std::size_t presses_slot = m.presses.slot;
+  const auto goal = [presses_slot](const dstate& s) {
+    return s.vars[presses_slot] >= 50;
+  };
+  EXPECT_THROW(min_cost_reach(sem, goal, opts), bsched::error);
+}
+
+TEST(Mcr, GoalInInitialStateIsFree) {
+  const auto m = make_lamp();
+  const semantics sem{m.net};
+  const auto r = min_cost_reach(sem, location_goal(m.lamp, m.off));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->cost, 0);
+  EXPECT_TRUE(r->trace.empty());
+}
+
+TEST(Mcr, TraceDisabledSkipsReconstruction) {
+  const auto m = make_lamp();
+  const semantics sem{m.net};
+  mcr_options opts;
+  opts.record_trace = false;
+  const auto r =
+      min_cost_reach(sem, location_goal(m.lamp, m.bright), opts);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->trace.empty());
+  EXPECT_EQ(r->cost, 50);
+}
+
+}  // namespace
+}  // namespace bsched::pta

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "kibam/discrete.hpp"
+#include "load/jobs.hpp"
+#include "opt/search.hpp"
+#include "sched/policy.hpp"
+#include "sched/simulator.hpp"
+#include "util/error.hpp"
+
+namespace bsched::opt {
+namespace {
+
+kibam::discretization disc_b1() {
+  return kibam::discretization{kibam::battery_b1()};
+}
+
+// --- Table 5, optimal column. ---
+
+struct optimal_case {
+  load::test_load load;
+  double optimal;  // minutes, Table 5
+};
+
+const optimal_case k_optimal[] = {
+    {load::test_load::cl_250, 12.04},  {load::test_load::cl_500, 4.58},
+    {load::test_load::cl_alt, 6.48},   {load::test_load::ils_250, 40.80},
+    {load::test_load::ils_500, 10.48}, {load::test_load::ils_alt, 16.91},
+    {load::test_load::ils_r1, 20.52},  {load::test_load::ils_r2, 14.54},
+    {load::test_load::ill_250, 78.96}, {load::test_load::ill_500, 18.68},
+};
+
+class OptimalColumn : public testing::TestWithParam<optimal_case> {};
+
+TEST_P(OptimalColumn, MatchesPaperWithinTicks) {
+  const optimal_case& c = GetParam();
+  const auto d = disc_b1();
+  const optimal_result r =
+      optimal_schedule(d, 2, load::paper_trace(c.load));
+  // Two deaths, each within ~1 tick of the published Cora runs.
+  EXPECT_NEAR(r.lifetime_min, c.optimal, 0.09) << load::name(c.load);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperLoads, OptimalColumn, testing::ValuesIn(k_optimal),
+    [](const testing::TestParamInfo<optimal_case>& pinfo) {
+      std::string n = load::name(pinfo.param.load);
+      for (char& ch : n) {
+        if (ch == ' ') ch = '_';
+      }
+      return n;
+    });
+
+TEST(Optimal, DominatesEveryDeterministicPolicy) {
+  const auto d = disc_b1();
+  for (const load::test_load l : load::all_test_loads()) {
+    const load::trace t = load::paper_trace(l);
+    const double best = optimal_schedule(d, 2, t).lifetime_min;
+    for (auto make :
+         {sched::sequential, sched::round_robin, sched::best_of_n,
+          sched::worst_of_n}) {
+      const auto pol = make();
+      const double lt = sched::simulate_discrete(d, 2, t, *pol).lifetime_min;
+      EXPECT_GE(best, lt - 1e-9)
+          << pol->name() << " beats optimal on " << load::name(l);
+    }
+  }
+}
+
+TEST(Optimal, ReplayReproducesTheSearchLifetime) {
+  const auto d = disc_b1();
+  for (const load::test_load l :
+       {load::test_load::ils_alt, load::test_load::cl_alt,
+        load::test_load::ils_r2}) {
+    const load::trace t = load::paper_trace(l);
+    const optimal_result r = optimal_schedule(d, 2, t);
+    const auto replay = sched::fixed_schedule(r.decisions);
+    const double replayed =
+        sched::simulate_discrete(d, 2, t, *replay).lifetime_min;
+    EXPECT_NEAR(replayed, r.lifetime_min, 1e-9) << load::name(l);
+  }
+}
+
+TEST(Optimal, HeadlineImprovementOverRoundRobin) {
+  // The paper's headline: on ILs alt the optimal schedule beats round
+  // robin by ~32% (Table 5: 12.82 -> 16.91, +31.9%).
+  const auto d = disc_b1();
+  const load::trace t = load::paper_trace(load::test_load::ils_alt);
+  const auto rr = sched::round_robin();
+  const double rr_lt = sched::simulate_discrete(d, 2, t, *rr).lifetime_min;
+  const double opt_lt = optimal_schedule(d, 2, t).lifetime_min;
+  const double gain = 100.0 * (opt_lt - rr_lt) / rr_lt;
+  EXPECT_NEAR(gain, 31.9, 1.5);
+}
+
+TEST(Optimal, PruningDoesNotChangeTheOptimum) {
+  const auto d = disc_b1();
+  for (const load::test_load l :
+       {load::test_load::cl_alt, load::test_load::ils_alt}) {
+    const load::trace t = load::paper_trace(l);
+    search_options with;
+    with.prune = true;
+    search_options without;
+    without.prune = false;
+    const optimal_result a = optimal_schedule(d, 2, t, with);
+    const optimal_result b = optimal_schedule(d, 2, t, without);
+    EXPECT_DOUBLE_EQ(a.lifetime_min, b.lifetime_min) << load::name(l);
+    EXPECT_GE(a.stats.pruned, b.stats.pruned);
+  }
+}
+
+TEST(Worst, SequentialIsTheWorstSchedule) {
+  // Section 6: "One can easily show, using the Cora model, that the
+  // sequential scheduling is actually the worst possible way".
+  const auto d = disc_b1();
+  for (const load::test_load l :
+       {load::test_load::cl_500, load::test_load::ils_500,
+        load::test_load::cl_alt}) {
+    const load::trace t = load::paper_trace(l);
+    const optimal_result worst = worst_schedule(d, 2, t);
+    const auto seq = sched::sequential();
+    const double seq_lt = sched::simulate_discrete(d, 2, t, *seq).lifetime_min;
+    EXPECT_NEAR(worst.lifetime_min, seq_lt, 1e-9) << load::name(l);
+  }
+}
+
+TEST(Optimal, SingleBatteryHasNoChoice) {
+  const auto d = disc_b1();
+  const load::trace t = load::paper_trace(load::test_load::ils_500);
+  const optimal_result r = optimal_schedule(d, 1, t);
+  EXPECT_NEAR(r.lifetime_min, kibam::discrete_lifetime(d, t), 1e-9);
+}
+
+TEST(Optimal, ThreeBatteriesBeatTwo) {
+  const auto d = disc_b1();
+  const load::trace t = load::paper_trace(load::test_load::cl_alt);
+  const double two = optimal_schedule(d, 2, t).lifetime_min;
+  const double three = optimal_schedule(d, 3, t).lifetime_min;
+  EXPECT_GT(three, two);
+}
+
+TEST(DrainBound, IsAdmissible) {
+  // The bound must never underestimate the realizable system lifetime.
+  const auto d = disc_b1();
+  for (const load::test_load l :
+       {load::test_load::cl_250, load::test_load::ils_alt,
+        load::test_load::ill_500}) {
+    const load::trace t = load::paper_trace(l);
+    const optimal_result r = optimal_schedule(d, 2, t);
+    const std::int64_t bound =
+        drain_bound_steps(d, t, 0, 2 * d.total_units());
+    const auto realized = static_cast<std::int64_t>(
+        r.lifetime_min / d.steps().time_step_min + 0.5);
+    EXPECT_GE(bound, realized) << load::name(l);
+  }
+}
+
+TEST(DrainBound, ZeroChargeZeroBound) {
+  const auto d = disc_b1();
+  const load::trace t = load::paper_trace(load::test_load::cl_250);
+  EXPECT_EQ(drain_bound_steps(d, t, 0, 0), 0);
+}
+
+TEST(DrainBound, IdleEpochsAddTime) {
+  const auto d = disc_b1();
+  // Same job drain, but the ILl variant interleaves 2-minute idles, so the
+  // bound in wall-clock time must be larger.
+  const std::int64_t cl = drain_bound_steps(
+      d, load::paper_trace(load::test_load::cl_250), 0, 100);
+  const std::int64_t ill = drain_bound_steps(
+      d, load::paper_trace(load::test_load::ill_250), 0, 100);
+  EXPECT_GT(ill, cl);
+}
+
+TEST(Optimal, StatsAreReported) {
+  const auto d = disc_b1();
+  const load::trace t = load::paper_trace(load::test_load::cl_alt);
+  const optimal_result r = optimal_schedule(d, 2, t);
+  EXPECT_GT(r.stats.nodes, 0u);
+  EXPECT_GT(r.stats.memo_entries, 0u);
+  EXPECT_FALSE(r.decisions.empty());
+}
+
+TEST(Optimal, NodeBudgetEnforced) {
+  const auto d = disc_b1();
+  const load::trace t = load::paper_trace(load::test_load::ils_250);
+  search_options opts;
+  opts.max_nodes = 1;
+  EXPECT_THROW(optimal_schedule(d, 2, t, opts), bsched::error);
+}
+
+}  // namespace
+}  // namespace bsched::opt

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "sched/policy.hpp"
+#include "util/error.hpp"
+
+namespace bsched::sched {
+namespace {
+
+std::vector<battery_view> bank(std::initializer_list<battery_view> views) {
+  return views;
+}
+
+decision_context ctx(const std::vector<battery_view>& views,
+                     std::size_t job = 0) {
+  return {job, 0.0, 0.25, false, std::nullopt, views};
+}
+
+TEST(Sequential, AlwaysLowestAliveIndex) {
+  const auto pol = sequential();
+  const auto views =
+      bank({{0, 5.0, 0.9, false}, {1, 5.0, 0.9, false}});
+  EXPECT_EQ(pol->choose(ctx(views)), 0u);
+  const auto first_dead =
+      bank({{0, 1.0, 0.0, true}, {1, 5.0, 0.9, false}});
+  EXPECT_EQ(pol->choose(ctx(first_dead)), 1u);
+}
+
+TEST(RoundRobin, CyclesInFixedOrder) {
+  const auto pol = round_robin();
+  pol->reset();
+  const auto views = bank(
+      {{0, 5.0, 0.9, false}, {1, 5.0, 0.9, false}, {2, 5.0, 0.9, false}});
+  EXPECT_EQ(pol->choose(ctx(views, 0)), 0u);
+  EXPECT_EQ(pol->choose(ctx(views, 1)), 1u);
+  EXPECT_EQ(pol->choose(ctx(views, 2)), 2u);
+  EXPECT_EQ(pol->choose(ctx(views, 3)), 0u);
+}
+
+TEST(RoundRobin, SkipsEmptyBatteries) {
+  const auto pol = round_robin();
+  pol->reset();
+  const auto views = bank(
+      {{0, 5.0, 0.9, false}, {1, 0.5, 0.0, true}, {2, 5.0, 0.9, false}});
+  EXPECT_EQ(pol->choose(ctx(views, 0)), 0u);
+  EXPECT_EQ(pol->choose(ctx(views, 1)), 2u);  // 1 is empty
+  EXPECT_EQ(pol->choose(ctx(views, 2)), 0u);
+}
+
+TEST(RoundRobin, ResetRestartsTheCycle) {
+  const auto pol = round_robin();
+  const auto views = bank({{0, 5.0, 0.9, false}, {1, 5.0, 0.9, false}});
+  EXPECT_EQ(pol->choose(ctx(views)), 0u);
+  EXPECT_EQ(pol->choose(ctx(views)), 1u);
+  pol->reset();
+  EXPECT_EQ(pol->choose(ctx(views)), 0u);
+}
+
+TEST(BestOfN, PicksMostAvailableCharge) {
+  const auto pol = best_of_n();
+  const auto views = bank(
+      {{0, 5.0, 0.3, false}, {1, 5.0, 0.8, false}, {2, 5.0, 0.5, false}});
+  EXPECT_EQ(pol->choose(ctx(views)), 1u);
+}
+
+TEST(BestOfN, TieBreaksToLowestIndex) {
+  const auto pol = best_of_n();
+  const auto views = bank({{0, 5.0, 0.5, false}, {1, 5.0, 0.5, false}});
+  EXPECT_EQ(pol->choose(ctx(views)), 0u);
+}
+
+TEST(BestOfN, IgnoresEmptyEvenIfRicher) {
+  const auto pol = best_of_n();
+  const auto views = bank({{0, 5.0, 0.9, true}, {1, 2.0, 0.1, false}});
+  EXPECT_EQ(pol->choose(ctx(views)), 1u);
+}
+
+TEST(WorstOfN, PicksLeastAvailableCharge) {
+  const auto pol = worst_of_n();
+  const auto views = bank(
+      {{0, 5.0, 0.3, false}, {1, 5.0, 0.8, false}, {2, 5.0, 0.5, false}});
+  EXPECT_EQ(pol->choose(ctx(views)), 0u);
+}
+
+TEST(RandomChoice, DeterministicInSeedAndAlive) {
+  const auto a = random_choice(123);
+  const auto b = random_choice(123);
+  const auto views = bank(
+      {{0, 5.0, 0.9, false}, {1, 5.0, 0.9, false}, {2, 5.0, 0.9, false}});
+  for (int i = 0; i < 50; ++i) {
+    const auto pick = a->choose(ctx(views));
+    EXPECT_EQ(pick, b->choose(ctx(views)));
+    EXPECT_LT(pick, 3u);
+  }
+}
+
+TEST(RandomChoice, NeverPicksEmpty) {
+  const auto pol = random_choice(7);
+  const auto views = bank(
+      {{0, 5.0, 0.9, true}, {1, 5.0, 0.9, false}, {2, 5.0, 0.9, true}});
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(pol->choose(ctx(views)), 1u);
+  }
+}
+
+TEST(FixedSchedule, ReplaysThenFallsBack) {
+  const auto pol = fixed_schedule({1, 0, 1});
+  const auto views = bank({{0, 5.0, 0.3, false}, {1, 5.0, 0.8, false}});
+  EXPECT_EQ(pol->choose(ctx(views)), 1u);
+  EXPECT_EQ(pol->choose(ctx(views)), 0u);
+  EXPECT_EQ(pol->choose(ctx(views)), 1u);
+  // List exhausted: best-of-n fallback picks index 1 (0.8 available).
+  EXPECT_EQ(pol->choose(ctx(views)), 1u);
+}
+
+TEST(FixedSchedule, RejectsUnusableDecision) {
+  const auto pol = fixed_schedule({0});
+  const auto views = bank({{0, 5.0, 0.3, true}, {1, 5.0, 0.8, false}});
+  EXPECT_THROW(pol->choose(ctx(views)), bsched::error);
+}
+
+TEST(Policies, AllThrowWhenEverythingEmpty) {
+  const auto views = bank({{0, 1.0, 0.0, true}, {1, 1.0, 0.0, true}});
+  EXPECT_THROW(sequential()->choose(ctx(views)), bsched::error);
+  EXPECT_THROW(round_robin()->choose(ctx(views)), bsched::error);
+  EXPECT_THROW(best_of_n()->choose(ctx(views)), bsched::error);
+  EXPECT_THROW(worst_of_n()->choose(ctx(views)), bsched::error);
+  EXPECT_THROW(random_choice(1)->choose(ctx(views)), bsched::error);
+}
+
+TEST(Policies, NamesAreStable) {
+  EXPECT_EQ(sequential()->name(), "sequential");
+  EXPECT_EQ(round_robin()->name(), "round robin");
+  EXPECT_EQ(best_of_n()->name(), "best-of-n");
+  EXPECT_EQ(worst_of_n()->name(), "worst-of-n");
+  EXPECT_EQ(random_choice(1)->name(), "random");
+  EXPECT_EQ(fixed_schedule({})->name(), "fixed schedule");
+}
+
+}  // namespace
+}  // namespace bsched::sched

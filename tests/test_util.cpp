@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace bsched {
+namespace {
+
+TEST(Error, RequireThrowsWithMessage) {
+  EXPECT_NO_THROW(require(true, "fine"));
+  try {
+    require(false, "broken precondition");
+    FAIL() << "should have thrown";
+  } catch (const error& e) {
+    EXPECT_STREQ(e.what(), "broken precondition");
+  }
+}
+
+TEST(Rng, DeterministicInSeed) {
+  rng a{42}, b{42}, c{43};
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a();
+    EXPECT_EQ(va, b());
+    if (va != c()) diverged = true;
+  }
+  EXPECT_TRUE(diverged) << "different seeds must give different streams";
+}
+
+TEST(Rng, BelowStaysInRange) {
+  rng g{7};
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(g.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  rng g{11};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(g.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  rng g{3};
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = g.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  rng g{5};
+  int hits = 0;
+  for (int i = 0; i < 10'000; ++i) hits += g.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10'000.0, 0.3, 0.02);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(csv_escape("with\"quote"), "\"with\"\"quote\"");
+  EXPECT_EQ(csv_escape("with\nnewline"), "\"with\nnewline\"");
+}
+
+TEST(Csv, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(format_double(1.5), "1.5");
+  EXPECT_EQ(format_double(2.0), "2");
+  EXPECT_EQ(format_double(0.25, 2), "0.25");
+  EXPECT_EQ(format_double(-3.10, 2), "-3.1");
+}
+
+TEST(Csv, WritesWellFormedFile) {
+  const std::string path = testing::TempDir() + "/bsched_csv_test.csv";
+  {
+    csv_writer w{path, {"t", "value"}};
+    w.row({0.0, 1.0});
+    w.row({0.5, 2.25});
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  std::ifstream in{path};
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "t,value");
+  std::getline(in, line);
+  EXPECT_EQ(line, "0,1");
+  std::getline(in, line);
+  EXPECT_EQ(line, "0.5,2.25");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsWrongColumnCount) {
+  const std::string path = testing::TempDir() + "/bsched_csv_cols.csv";
+  csv_writer w{path, {"a", "b"}};
+  EXPECT_THROW(w.row(std::vector<std::string>{"only-one"}), error);
+  std::remove(path.c_str());
+}
+
+TEST(TextTable, DetectsNumericCells) {
+  EXPECT_TRUE(looks_numeric("42"));
+  EXPECT_TRUE(looks_numeric("-3.5"));
+  EXPECT_TRUE(looks_numeric("12.3%"));
+  EXPECT_FALSE(looks_numeric("CL 250"));
+  EXPECT_FALSE(looks_numeric(""));
+}
+
+TEST(TextTable, RendersAlignedRows) {
+  text_table t{{"name", "value"}};
+  t.row({"alpha", "1.5"});
+  t.row({"b", "22.25"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  // Numeric column is right-aligned: "22.25" ends at the same column as
+  // " 1.5" does wider.
+  EXPECT_NE(s.find("  1.5"), std::string::npos);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(TextTable, PadsShortRows) {
+  text_table t{{"a", "b", "c"}};
+  t.row({"only"});
+  EXPECT_NO_THROW({ const auto s = t.str(); });
+}
+
+}  // namespace
+}  // namespace bsched

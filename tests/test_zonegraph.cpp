@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "lamp_fixture.hpp"
+#include "pta/mcr.hpp"
+#include "pta/zonegraph.hpp"
+#include "util/error.hpp"
+
+namespace bsched::pta {
+namespace {
+
+using testutil::make_lamp;
+
+zg_goal location_is(automaton_id a, loc_id l) {
+  return [a, l](std::span<const std::uint32_t> locs,
+                std::span<const std::int64_t>) { return locs[a] == l; };
+}
+
+TEST(ZoneGraph, LampBrightReachableDense) {
+  const auto m = make_lamp();
+  const zg_result r =
+      symbolic_reach(m.net, location_is(m.lamp, m.bright));
+  EXPECT_TRUE(r.reachable);
+  EXPECT_GT(r.stored, 0u);
+}
+
+TEST(ZoneGraph, MaxConstantsFromModel) {
+  const auto m = make_lamp();
+  const auto k = clock_max_constants(m.net);
+  ASSERT_EQ(k.size(), 2u);  // reference + y
+  EXPECT_EQ(k[1], 10);      // largest constant on y
+}
+
+TEST(ZoneGraph, DeadlineSemantics) {
+  // One clock x; location `wait` with invariant x <= 3 and an edge to
+  // `hit` guarded x >= k. Reachable iff k <= 3.
+  for (const std::int64_t k : {2, 3, 4}) {
+    network net;
+    const clock_id x = net.add_clock("x", 10);
+    const automaton_id aid = net.add_automaton("a");
+    automaton& a = net.at(aid);
+    const loc_id wait = a.add_location(
+        {"wait", false, {clock_constraint{x, cmp::le, lit(3)}}, {}});
+    const loc_id hit = a.add_location({"hit", false, {}, {}});
+    a.set_initial(wait);
+    a.add_edge({wait, hit, {clock_constraint{x, cmp::ge, lit(k)}},
+                {}, npos, sync_dir::none, {}, {}, {}, {}});
+    const zg_result r = symbolic_reach(net, location_is(aid, hit));
+    EXPECT_EQ(r.reachable, k <= 3) << "k=" << k;
+  }
+}
+
+TEST(ZoneGraph, StrictGuardExcludesBoundary) {
+  // Invariant x <= 3, guard x > 3: unreachable; with x >= 3: reachable.
+  for (const bool strict : {true, false}) {
+    network net;
+    const clock_id x = net.add_clock("x", 10);
+    const automaton_id aid = net.add_automaton("a");
+    automaton& a = net.at(aid);
+    const loc_id wait = a.add_location(
+        {"wait", false, {clock_constraint{x, cmp::le, lit(3)}}, {}});
+    const loc_id hit = a.add_location({"hit", false, {}, {}});
+    a.set_initial(wait);
+    a.add_edge({wait, hit,
+                {clock_constraint{x, strict ? cmp::gt : cmp::ge, lit(3)}},
+                {}, npos, sync_dir::none, {}, {}, {}, {}});
+    const zg_result r = symbolic_reach(net, location_is(aid, hit));
+    EXPECT_EQ(r.reachable, !strict) << "strict=" << strict;
+  }
+}
+
+TEST(ZoneGraph, ClockDifferenceConstraintViaTwoClocks) {
+  // Reset y when leaving `first` at x = 2; reach `hit` requires y >= 3,
+  // i.e. total time >= 5.  Guarded by an upper invariant x <= 4 it is
+  // still reachable (4 < 5 applies to x only... make it x <= 10).
+  network net;
+  const clock_id x = net.add_clock("x", 20);
+  const clock_id y = net.add_clock("y", 20);
+  const automaton_id aid = net.add_automaton("a");
+  automaton& a = net.at(aid);
+  const loc_id first = a.add_location(
+      {"first", false, {clock_constraint{x, cmp::le, lit(2)}}, {}});
+  const loc_id second = a.add_location({"second", false, {}, {}});
+  const loc_id hit = a.add_location({"hit", false, {}, {}});
+  a.set_initial(first);
+  a.add_edge({first, second, {clock_constraint{x, cmp::ge, lit(2)}},
+              {}, npos, sync_dir::none, {}, {y}, {}, {}});
+  a.add_edge({second, hit,
+              {clock_constraint{y, cmp::ge, lit(3)},
+               clock_constraint{x, cmp::le, lit(4)}},
+              {}, npos, sync_dir::none, {}, {}, {}, {}});
+  // y >= 3 implies x >= 5 (y reset at x = 2), contradicting x <= 4.
+  const zg_result r = symbolic_reach(net, location_is(aid, hit));
+  EXPECT_FALSE(r.reachable);
+}
+
+TEST(ZoneGraph, AgreesWithDiscreteEngineOnClosedModels) {
+  // For closed (non-strict) guards, discrete time steps suffice: both
+  // engines must agree on reachability. Sweep small deadline models.
+  for (const std::int64_t inv : {2, 5}) {
+    for (const std::int64_t guard : {1, 5, 6}) {
+      network net;
+      const clock_id x = net.add_clock(
+          "x", static_cast<std::int32_t>(inv + guard + 2));
+      const automaton_id aid = net.add_automaton("a");
+      automaton& a = net.at(aid);
+      const loc_id wait = a.add_location(
+          {"wait", false, {clock_constraint{x, cmp::le, lit(inv)}}, {}});
+      const loc_id hit = a.add_location({"hit", false, {}, {}});
+      a.set_initial(wait);
+      a.add_edge({wait, hit, {clock_constraint{x, cmp::ge, lit(guard)}},
+                  {}, npos, sync_dir::none, {}, {}, {}, {}});
+
+      const zg_result dense = symbolic_reach(net, location_is(aid, hit));
+      const semantics sem{net};
+      const auto discrete =
+          min_cost_reach(sem, location_goal(aid, hit));
+      EXPECT_EQ(dense.reachable, discrete.has_value())
+          << "inv=" << inv << " guard=" << guard;
+    }
+  }
+}
+
+TEST(ZoneGraph, VariablesGateEdges) {
+  // The same clock structure, but the edge requires a var set by a second
+  // automaton through a binary channel.
+  network net;
+  (void)net.add_clock("x", 5);
+  const chan_id go = net.add_channel("go");
+  const var_ref armed = net.add_var("armed", 0);
+  const automaton_id aid = net.add_automaton("a");
+  {
+    automaton& a = net.at(aid);
+    const loc_id w = a.add_location({"w", false, {}, {}});
+    const loc_id hit = a.add_location({"hit", false, {}, {}});
+    a.set_initial(w);
+    a.add_edge({w, w, {}, {}, go, sync_dir::receive,
+                {{armed.lv(), lit(1)}}, {}, {}, {}});
+    a.add_edge({w, hit, {}, expr{armed} == lit(1), npos, sync_dir::none,
+                {}, {}, {}, {}});
+  }
+  const automaton_id bid = net.add_automaton("b");
+  {
+    automaton& b = net.at(bid);
+    const loc_id s = b.add_location({"s", false, {}, {}});
+    b.set_initial(s);
+    b.add_edge({s, s, {}, {}, go, sync_dir::send, {}, {}, {}, {}});
+  }
+  const loc_id hit_loc = 1;
+  const zg_result r = symbolic_reach(net, location_is(aid, hit_loc));
+  EXPECT_TRUE(r.reachable);
+}
+
+TEST(ZoneGraph, BroadcastRejectedInDenseEngine) {
+  network net;
+  (void)net.add_clock("x", 5);
+  const chan_id ping = net.add_channel("ping", /*broadcast=*/true);
+  const automaton_id aid = net.add_automaton("a");
+  automaton& a = net.at(aid);
+  const loc_id l0 = a.add_location({"l0", false, {}, {}});
+  a.set_initial(l0);
+  a.add_edge({l0, l0, {}, {}, ping, sync_dir::send, {}, {}, {}, {}});
+  EXPECT_THROW((void)symbolic_reach(net,
+                              [](auto, auto) { return false; }),
+               bsched::error);
+}
+
+TEST(ZoneGraph, InclusionPreventsStateBlowup) {
+  // The lamp model cycles; with zone inclusion the passed list stays tiny.
+  const auto m = make_lamp();
+  const zg_result r = symbolic_reach(
+      m.net, [](std::span<const std::uint32_t>,
+                std::span<const std::int64_t> vars) {
+        return vars[0] >= 4;  // four presses
+      });
+  EXPECT_TRUE(r.reachable);
+  EXPECT_LT(r.stored, 200u);
+}
+
+}  // namespace
+}  // namespace bsched::pta
