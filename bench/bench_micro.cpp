@@ -3,6 +3,8 @@
 // simulation, the optimal search, DBM closure and PTA successor generation.
 #include <benchmark/benchmark.h>
 
+#include "api/engine.hpp"
+#include "api/scenario.hpp"
 #include "kibam/discrete.hpp"
 #include "kibam/kibam.hpp"
 #include "load/jobs.hpp"
@@ -69,6 +71,23 @@ void bm_simulate_best_of_two(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_simulate_best_of_two);
+
+void bm_engine_batch(benchmark::State& state) {
+  // The scenario front door: a six-cell sweep (two loads x three
+  // policies) through run_batch with a varying worker count.
+  const std::vector<api::scenario> sweep = api::cross(
+      {api::bank(2, kibam::battery_b1())},
+      {api::load_spec{load::test_load::cl_alt},
+       api::load_spec{load::test_load::ils_alt}},
+      {"sequential", "round_robin", "best_of_n"},
+      {api::fidelity::continuous});
+  const api::engine engine;
+  const auto n_threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run_batch(sweep, n_threads));
+  }
+}
+BENCHMARK(bm_engine_batch)->Arg(1)->Arg(4);
 
 void bm_optimal_search(benchmark::State& state) {
   const kibam::discretization d{kibam::battery_b1()};

@@ -1,5 +1,7 @@
 // Dual-battery scheduling: compare every scheduling policy on one of the
 // paper's test loads (default: ILs alt, where the choice matters most).
+// Policies are named through the string registry and the comparison runs
+// as one scenario batch.
 //
 //   $ ./dual_battery [load-name] [battery-count]
 //   $ ./dual_battery "ILs alt" 3
@@ -9,10 +11,9 @@
 #include <string>
 #include <vector>
 
-#include "kibam/discrete.hpp"
+#include "api/engine.hpp"
+#include "api/scenario.hpp"
 #include "load/jobs.hpp"
-#include "sched/policy.hpp"
-#include "sched/simulator.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -35,33 +36,39 @@ int main(int argc, char** argv) {
   const std::size_t batteries =
       argc > 2 ? static_cast<std::size_t>(std::stoul(argv[2])) : 2;
 
-  const kibam::discretization disc{kibam::battery_b1()};
-  const load::trace trace = load::paper_trace(which);
   std::printf("load %s on %zu x B1 batteries\n\n",
               load::name(which).c_str(), batteries);
 
-  std::vector<std::unique_ptr<sched::policy>> policies;
-  policies.push_back(sched::sequential());
-  policies.push_back(sched::round_robin());
-  policies.push_back(sched::best_of_n());
-  policies.push_back(sched::random_choice(2009));
+  const std::vector<std::string> policies{
+      "sequential", "round_robin", "best_of_n", "random:seed=2009"};
+  const std::vector<api::scenario> sweep =
+      api::cross({api::bank(batteries, kibam::battery_b1())}, {which},
+                 policies, {api::fidelity::discrete});
+
+  const api::engine engine;
+  const std::vector<api::run_result> results = engine.run_batch(sweep);
 
   text_table table{{"policy", "lifetime (min)", "residual (Amin)",
                     "decisions"}};
   double best_lifetime = 0;
   std::vector<sched::decision> best_decisions;
   std::string best_name;
-  for (const auto& pol : policies) {
-    const sched::sim_result r =
-        sched::simulate_discrete(disc, batteries, trace, *pol);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const api::run_result& r = results[i];
+    if (!r.ok()) {
+      std::fprintf(stderr, "scenario '%s' failed: %s\n",
+                   sweep[i].describe().c_str(), r.error.c_str());
+      return 1;
+    }
     char lt[32], res[32];
-    std::snprintf(lt, sizeof lt, "%.2f", r.lifetime_min);
-    std::snprintf(res, sizeof res, "%.2f", r.residual_amin);
-    table.row({pol->name(), lt, res, std::to_string(r.decisions.size())});
-    if (r.lifetime_min > best_lifetime) {
-      best_lifetime = r.lifetime_min;
-      best_decisions = r.decisions;
-      best_name = pol->name();
+    std::snprintf(lt, sizeof lt, "%.2f", r.sim.lifetime_min);
+    std::snprintf(res, sizeof res, "%.2f", r.sim.residual_amin);
+    table.row({r.policy_name, lt, res,
+               std::to_string(r.sim.decisions.size())});
+    if (r.sim.lifetime_min > best_lifetime) {
+      best_lifetime = r.sim.lifetime_min;
+      best_decisions = r.sim.decisions;
+      best_name = r.policy_name;
     }
   }
   std::fputs(table.str().c_str(), stdout);

@@ -1,16 +1,18 @@
 // Optimal battery scheduling: compute the maximum-lifetime schedule for a
-// test load, compare it with round robin, and verify it by replay.
+// test load, compare it with round robin, and verify it by replaying the
+// decision list through the registry's "fixed" policy.
 //
 //   $ ./optimal_search [load-name]
 //   $ ./optimal_search "ILs r1"
 #include <cstdio>
 #include <string>
 
+#include "api/engine.hpp"
+#include "api/scenario.hpp"
 #include "kibam/discrete.hpp"
 #include "load/jobs.hpp"
 #include "opt/search.hpp"
-#include "sched/policy.hpp"
-#include "sched/simulator.hpp"
+#include "sched/registry.hpp"
 
 int main(int argc, char** argv) {
   using namespace bsched;
@@ -39,23 +41,30 @@ int main(int argc, char** argv) {
   for (const std::size_t b : best.decisions) std::printf("%zu", b + 1);
   std::printf("\n");
 
-  // Replay through the simulator to double-check the schedule is real.
-  const auto replay = sched::fixed_schedule(best.decisions);
-  const sched::sim_result run =
-      sched::simulate_discrete(disc, 2, trace, *replay);
+  // Replay through a scenario to double-check the schedule is real: the
+  // decision list round-trips as a "fixed:decisions=..." policy spec.
+  const api::engine engine;
+  api::scenario scn{.label = {},
+                    .batteries = api::bank(2, kibam::battery_b1()),
+                    .load = which,
+                    .policy = sched::fixed_spec(best.decisions),
+                    .model = api::fidelity::discrete,
+                    .steps = {},
+                    .sim = {}};
+  const api::run_result replay = engine.run(scn);
   std::printf("replayed lifetime: %.2f min (must match)\n",
-              run.lifetime_min);
+              replay.sim.lifetime_min);
 
-  const auto rr = sched::round_robin();
-  const double rr_lifetime =
-      sched::simulate_discrete(disc, 2, trace, *rr).lifetime_min;
+  scn.policy = "round_robin";
+  const double rr_lifetime = engine.run(scn).sim.lifetime_min;
   std::printf("round robin:       %.2f min  (optimal is %+.1f%%)\n",
               rr_lifetime,
               100.0 * (best.lifetime_min - rr_lifetime) / rr_lifetime);
 
   // The other end of the spectrum: the provably worst schedule.
-  const opt::optimal_result worst = opt::worst_schedule(disc, 2, trace);
+  scn.policy = "worst";
+  const double worst = engine.run(scn).sim.lifetime_min;
   std::printf("worst possible:    %.2f min (the sequential discharge)\n",
-              worst.lifetime_min);
+              worst);
   return 0;
 }

@@ -1,12 +1,12 @@
-// Quickstart: model one battery, apply a load, compute its lifetime.
+// Quickstart: model a battery, apply a load, compute lifetimes — first
+// with the core models, then through the scenario API that the rest of
+// the library (experiments, benches, sweeps) is built on.
 //
 //   $ ./quickstart
-//
-// Walks through the three core concepts — battery parameters, load traces
-// and lifetime computation — in both the analytic and the discretized
-// model.
 #include <cstdio>
 
+#include "api/engine.hpp"
+#include "api/scenario.hpp"
 #include "kibam/discrete.hpp"
 #include "kibam/kibam.hpp"
 #include "load/jobs.hpp"
@@ -35,7 +35,23 @@ int main() {
   const double discrete = kibam::discrete_lifetime(disc, trace);
   std::printf("discretized (dKiBaM):      %.2f min\n", discrete);
 
-  // 4. Peek inside: charge state after the first job.
+  // 4. Multi-battery systems run through declarative scenarios: a bank, a
+  //    load, a policy name and a model fidelity describe one experiment.
+  const api::engine engine;
+  for (const char* policy : {"sequential", "round_robin", "best_of_n"}) {
+    const api::scenario scn{.label = {},
+                            .batteries = api::bank(2, battery),
+                            .load = trace,
+                            .policy = policy,
+                            .model = api::fidelity::discrete,
+                            .steps = {},
+                            .sim = {}};
+    const api::run_result r = engine.run(scn);
+    std::printf("2 x B1, policy %-12s  lifetime %.2f min (%zu decisions)\n",
+                policy, r.sim.lifetime_min, r.sim.decisions.size());
+  }
+
+  // 5. Peek inside: charge state after the first job.
   kibam::state s = kibam::full(battery);
   s = kibam::advance(battery, s, load::high_current_a, 1.0);
   std::printf("after one job:  total %.2f Amin, available %.2f Amin\n",

@@ -6,12 +6,15 @@
 // the idle gap between consecutive measurements. Longer gaps let the bound
 // charge refill the available well (recovery effect), so the node finishes
 // *more* measurements in total — but at a lower rate. This example sweeps
-// the gap and shows the trade-off a designer actually faces.
+// the gap as a batch of scenarios and shows the trade-off a designer
+// actually faces.
 //
 //   $ ./sensor_node
 #include <cstdio>
+#include <vector>
 
-#include "kibam/kibam.hpp"
+#include "api/engine.hpp"
+#include "api/scenario.hpp"
 #include "load/trace.hpp"
 #include "util/table.hpp"
 
@@ -34,12 +37,31 @@ int main() {
       "sensor node on one B1 battery: 1-min measurements at 250 mA with a\n"
       "configurable idle gap. How should the node space its work?\n\n");
 
+  const std::vector<double> gaps{0.0, 1.0, 2.0, 4.0, 6.0, 8.0};
+  std::vector<api::scenario> sweep;
+  for (const double gap : gaps) {
+    sweep.push_back({.label = {},
+                     .batteries = api::bank(1, battery),
+                     .load = duty_cycle(gap),
+                     .policy = "sequential",
+                     .model = api::fidelity::continuous,
+                     .steps = {},
+                     .sim = {}});
+  }
+  const api::engine engine;
+  const std::vector<api::run_result> results = engine.run_batch(sweep);
+
   text_table table{{"gap (min)", "lifetime (min)", "measurements",
                     "charge delivered (Amin)", "rate (jobs/h)"}};
   int base_jobs = 0;
-  for (const double gap : {0.0, 1.0, 2.0, 4.0, 6.0, 8.0}) {
-    const load::trace t = duty_cycle(gap);
-    const double lifetime = kibam::lifetime(battery, t);
+  for (std::size_t i = 0; i < gaps.size(); ++i) {
+    const double gap = gaps[i];
+    if (!results[i].ok()) {
+      std::fprintf(stderr, "gap %.0f failed: %s\n", gap,
+                   results[i].error.c_str());
+      return 1;
+    }
+    const double lifetime = results[i].sim.lifetime_min;
     // Job k occupies [k (1+gap), k (1+gap) + 1); count completed ones.
     const double period = 1.0 + gap;
     int jobs = 0;

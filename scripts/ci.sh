@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI entry point: configure with warnings-as-errors, build everything,
+# run the full test suite, and smoke-run one example and one bench.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-ci}"
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DBSCHED_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+# Smoke runs: the scenario-API example must agree across thread counts
+# (exits non-zero on mismatch), and Table 3 must render.
+"$BUILD_DIR/scenario_sweep" 4
+"$BUILD_DIR/bench_table3" > /dev/null
+echo "ci: OK"

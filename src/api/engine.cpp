@@ -1,0 +1,144 @@
+#include "api/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "opt/lookahead.hpp"
+#include "util/error.hpp"
+#include "util/spec.hpp"
+
+namespace bsched::api {
+
+namespace {
+
+/// The search-derived policies need one discretization for the whole bank
+/// — and they must replay on the same (discrete) model they were computed
+/// on: the continuous simulator's hand-overs fall at different instants,
+/// so a discrete decision list would silently degrade to its best-of-n
+/// fallback (or pick a dead battery) mid-replay.
+kibam::discretization identical_bank_disc(const scenario& scn,
+                                          const std::string& policy) {
+  require(scn.model == fidelity::discrete,
+          "engine: policy '" + policy +
+              "' is computed on the discrete grid and requires discrete "
+              "fidelity");
+  const bool identical = std::all_of(
+      scn.batteries.begin(), scn.batteries.end(),
+      [&](const kibam::battery_parameters& p) {
+        return p == scn.batteries.front();
+      });
+  require(identical, "engine: policy '" + policy +
+                         "' requires an identical battery bank");
+  return kibam::discretization{scn.batteries.front(), scn.steps};
+}
+
+}  // namespace
+
+std::unique_ptr<sched::policy> engine::resolve_policy(
+    const scenario& scn, const load::trace& trace,
+    std::string* display_name) const {
+  require(!scn.batteries.empty(), "engine: scenario needs >= 1 battery");
+  const auto resolved = [&](std::unique_ptr<sched::policy> pol,
+                            const std::string& display) {
+    if (display_name != nullptr) *display_name = display;
+    return pol;
+  };
+  const spec s = parse_spec(scn.policy);
+  // Registry entries win over the engine-level names, so a custom
+  // registration of e.g. "opt" is honoured rather than shadowed.
+  if (opts_.policies.contains(s.name)) {
+    auto pol = opts_.policies.make(scn.policy);
+    const std::string display = pol->name();
+    return resolved(std::move(pol), display);
+  }
+  if (s.name == "opt" || s.name == "worst") {
+    s.require_only({});
+    const kibam::discretization disc = identical_bank_disc(scn, s.name);
+    const opt::optimal_result sched =
+        s.name == "opt"
+            ? opt::optimal_schedule(disc, scn.batteries.size(), trace,
+                                    opts_.search)
+            : opt::worst_schedule(disc, scn.batteries.size(), trace,
+                                  opts_.search);
+    return resolved(opts_.policies.make(sched::fixed_spec(sched.decisions)),
+                    s.name);
+  }
+  if (s.name == "lookahead") {
+    s.require_only({"horizon"});
+    const kibam::discretization disc = identical_bank_disc(scn, s.name);
+    const opt::lookahead_result sched = opt::lookahead_schedule(
+        disc, scn.batteries.size(), trace, s.get_u64("horizon", 4));
+    return resolved(opts_.policies.make(sched::fixed_spec(sched.decisions)),
+                    s.name);
+  }
+  // Surfaces the registry's unknown-name error.
+  return resolved(opts_.policies.make(scn.policy), s.name);
+}
+
+std::unique_ptr<sched::policy> engine::resolve_policy(
+    const scenario& scn) const {
+  return resolve_policy(scn, scn.load.materialize(), nullptr);
+}
+
+run_result engine::run(const scenario& scn) const {
+  require(!scn.batteries.empty(), "engine: scenario needs >= 1 battery");
+  const load::trace trace = scn.load.materialize();
+  run_result out;
+  const std::unique_ptr<sched::policy> pol =
+      resolve_policy(scn, trace, &out.policy_name);
+  switch (scn.model) {
+    case fidelity::discrete:
+      out.sim = sched::simulate_discrete(scn.batteries, trace, *pol,
+                                         scn.sim, scn.steps);
+      break;
+    case fidelity::continuous:
+      out.sim = sched::simulate_continuous(scn.batteries, trace, *pol,
+                                           scn.sim);
+      break;
+  }
+  return out;
+}
+
+std::vector<run_result> engine::run_batch(std::span<const scenario> scenarios,
+                                          std::size_t n_threads) const {
+  std::vector<run_result> out(scenarios.size());
+  if (scenarios.empty()) return out;
+  if (n_threads == 0) n_threads = std::thread::hardware_concurrency();
+  n_threads = std::clamp<std::size_t>(n_threads, 1, scenarios.size());
+
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&]() noexcept {
+    for (std::size_t i = next.fetch_add(1); i < scenarios.size();
+         i = next.fetch_add(1)) {
+      try {
+        out[i] = run(scenarios[i]);
+      } catch (const std::exception& e) {
+        out[i] = {.sim = {}, .policy_name = {}, .error = e.what()};
+      } catch (...) {
+        out[i] = {.sim = {}, .policy_name = {}, .error = "unknown error"};
+      }
+    }
+  };
+
+  if (n_threads == 1) {
+    worker();
+    return out;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(n_threads);
+  for (std::size_t t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return out;
+}
+
+std::vector<std::string> engine::policy_names() const {
+  std::vector<std::string> out = opts_.policies.names();
+  for (const char* name : {"lookahead", "opt", "worst"}) {
+    if (!opts_.policies.contains(name)) out.emplace_back(name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace bsched::api

@@ -1,0 +1,93 @@
+// The scenario engine: turns declarative scenarios into simulation runs,
+// single or batched across a worker pool.
+//
+// Policies are resolved through the string registry (sched/registry.hpp);
+// on top of the registry names the engine provides the search-derived
+// schedules, which need the scenario's own model and load to compute:
+//   "opt"                  — the exact maximum-lifetime schedule,
+//   "worst"                — the exact minimum (sequential's twin),
+//   "lookahead:horizon=N"  — the rollout scheduler of opt/lookahead.hpp.
+// All three precompute their decision list on the scenario's discrete
+// grid and replay it through a registry-built "fixed:decisions=..."
+// policy; they require discrete fidelity and an identical bank (a
+// discrete schedule replayed continuously would silently diverge at
+// hand-overs).
+//
+// `run_batch` evaluates scenarios on `n_threads` workers. Scenarios are
+// self-contained (per-scenario RNG seeding, no shared state), so batch
+// results are byte-identical whatever the thread count — determinism is
+// asserted in tests/test_api.cpp.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/scenario.hpp"
+#include "opt/search.hpp"
+#include "sched/registry.hpp"
+#include "sched/simulator.hpp"
+
+namespace bsched::api {
+
+/// Outcome of one scenario.
+struct run_result {
+  sched::sim_result sim;
+  /// Display name of the policy that ran (policy::name()); for the
+  /// engine-derived schedules, the requested name ("opt", "worst",
+  /// "lookahead") rather than the "fixed schedule" replay vehicle.
+  std::string policy_name;
+  /// Empty on success. `engine::run` throws instead; `run_batch` captures
+  /// per-scenario failures here so one bad scenario cannot sink a sweep.
+  std::string error;
+
+  [[nodiscard]] bool ok() const noexcept { return error.empty(); }
+
+  friend bool operator==(const run_result&, const run_result&) = default;
+};
+
+struct engine_options {
+  /// Policy name resolution; extend a copy of the built-ins to register
+  /// custom policies.
+  sched::registry policies = sched::registry::built_in();
+  /// Options for the exact search behind "opt" / "worst".
+  opt::search_options search{};
+};
+
+class engine {
+ public:
+  engine() : engine(engine_options{}) {}
+  explicit engine(engine_options opts) : opts_(std::move(opts)) {}
+
+  /// Evaluates one scenario. Throws bsched::error on invalid scenarios
+  /// (empty bank, unknown policy or load, horizon exceeded, ...).
+  [[nodiscard]] run_result run(const scenario& scn) const;
+
+  /// Evaluates every scenario on a pool of `n_threads` workers
+  /// (0 = hardware concurrency). Results are positionally aligned with
+  /// the input and identical to a sequential run; per-scenario failures
+  /// are reported in run_result::error.
+  [[nodiscard]] std::vector<run_result> run_batch(
+      std::span<const scenario> scenarios, std::size_t n_threads = 0) const;
+
+  /// Resolves a scenario's policy spec: registry names plus the
+  /// engine-level "opt" / "worst" / "lookahead:horizon=N". Registry
+  /// entries take precedence, so custom registrations are never shadowed.
+  [[nodiscard]] std::unique_ptr<sched::policy> resolve_policy(
+      const scenario& scn) const;
+
+  /// Registry plus engine-resolved names, sorted.
+  [[nodiscard]] std::vector<std::string> policy_names() const;
+
+ private:
+  /// `display_name` (optional) receives the name to report in
+  /// run_result::policy_name.
+  [[nodiscard]] std::unique_ptr<sched::policy> resolve_policy(
+      const scenario& scn, const load::trace& trace,
+      std::string* display_name) const;
+
+  engine_options opts_;
+};
+
+}  // namespace bsched::api

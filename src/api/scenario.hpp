@@ -1,0 +1,112 @@
+// Declarative scenario descriptions — the single front door to the library.
+//
+// The paper's evaluation (Tables 3-5, Fig. 6) is a grid of scenarios:
+// battery bank x load x policy x model fidelity. A `scenario` is a plain
+// value describing one cell of such a grid; the engine (engine.hpp) turns
+// it into a simulation run. Scenarios are self-contained and carry their
+// own seeds, so a batch of them can be evaluated in any order — or in
+// parallel — with identical results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "kibam/parameters.hpp"
+#include "load/discretize.hpp"
+#include "load/jobs.hpp"
+#include "load/trace.hpp"
+#include "sched/simulator.hpp"
+
+namespace bsched::api {
+
+/// Which battery model evaluates the scenario.
+enum class fidelity {
+  discrete,    ///< dKiBaM stepping (the model behind Tables 3-5).
+  continuous,  ///< analytic KiBaM, segment-exact.
+};
+
+[[nodiscard]] std::string name(fidelity f);
+
+/// A seeded random workload, declaratively: `kind` picks the generator of
+/// load/random.hpp, `p` is p_high (iid) or p_stay (markov).
+struct random_load_spec {
+  enum class kind : std::uint8_t { iid, markov };
+  kind generator = kind::iid;
+  std::size_t count = 40;   ///< Jobs per cycle.
+  double p = 0.5;
+  double idle_min = 1.0;    ///< Idle gap after each job.
+  std::uint64_t seed = 0;
+
+  friend bool operator==(const random_load_spec&,
+                         const random_load_spec&) = default;
+};
+
+/// A load given as a paper test-load name, an explicit trace, or a seeded
+/// random-job spec.
+class load_spec {
+ public:
+  /// Defaults to the paper's headline load (ILs alt).
+  load_spec() : source_(load::test_load::ils_alt) {}
+  /* implicit */ load_spec(load::test_load l) : source_(l) {}
+  /* implicit */ load_spec(load::trace t) : source_(std::move(t)) {}
+  /* implicit */ load_spec(random_load_spec r) : source_(r) {}
+
+  /// Parses a compact string form:
+  ///   "ILs alt" / "CL 250" ...          — paper test-load names,
+  ///   "random:count=40,p=0.5,idle=1,seed=7"  — iid random jobs,
+  ///   "markov:count=40,p=0.7,idle=1,seed=7"  — bursty Markov jobs.
+  [[nodiscard]] static load_spec parse(const std::string& text);
+
+  /// Expands to the concrete trace the simulator consumes.
+  [[nodiscard]] load::trace materialize() const;
+
+  /// Human-readable description, e.g. "ILs alt" or "markov(seed=7)".
+  [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const load_spec&, const load_spec&) = default;
+
+ private:
+  std::variant<load::test_load, load::trace, random_load_spec> source_;
+};
+
+/// One evaluation scenario: bank x load x policy x fidelity, plus the
+/// simulation knobs. Aggregate — build with designated initializers:
+///
+///   api::scenario s{.batteries = api::bank(2, kibam::battery_b1()),
+///                   .load = load::test_load::ils_alt,
+///                   .policy = "best_of_n",
+///                   .model = api::fidelity::discrete};
+struct scenario {
+  /// Display label; `describe()` derives one when empty.
+  std::string label;
+  /// Possibly heterogeneous battery bank; must be non-empty.
+  std::vector<kibam::battery_parameters> batteries;
+  load_spec load;
+  /// Policy spec resolved through sched::registry, plus the engine-level
+  /// names "opt", "worst" and "lookahead:horizon=N" (see engine.hpp).
+  std::string policy = "best_of_n";
+  fidelity model = fidelity::discrete;
+  /// Discretization grid (discrete fidelity only).
+  load::step_sizes steps{};
+  sched::sim_options sim{};
+
+  /// `label` when set, otherwise "<n>xC=<cap> | <load> | <policy> | <fid>".
+  [[nodiscard]] std::string describe() const;
+};
+
+/// A bank of `count` identical batteries.
+[[nodiscard]] std::vector<kibam::battery_parameters> bank(
+    std::size_t count, const kibam::battery_parameters& battery);
+
+/// The full cross product of banks x loads x policies x fidelities — the
+/// Table-5-style sweep as data. Scenarios are emitted in row-major order
+/// (banks outermost, fidelities innermost).
+[[nodiscard]] std::vector<scenario> cross(
+    const std::vector<std::vector<kibam::battery_parameters>>& banks,
+    const std::vector<load_spec>& loads,
+    const std::vector<std::string>& policies,
+    const std::vector<fidelity>& fidelities);
+
+}  // namespace bsched::api

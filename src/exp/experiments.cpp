@@ -2,8 +2,11 @@
 
 #include <cmath>
 
+#include "api/engine.hpp"
+#include "api/scenario.hpp"
 #include "opt/search.hpp"
 #include "sched/policy.hpp"
+#include "sched/registry.hpp"
 #include "util/error.hpp"
 
 namespace bsched::exp {
@@ -12,6 +15,12 @@ namespace {
 
 double percent_diff(double value, double reference) {
   return 100.0 * (value - reference) / reference;
+}
+
+/// Unwraps a batch result, surfacing per-scenario failures as errors.
+const sched::sim_result& checked(const api::run_result& r) {
+  require(r.ok(), "experiment scenario failed: " + r.error);
+  return r.sim;
 }
 
 }  // namespace
@@ -41,28 +50,39 @@ double policy_lifetime(const kibam::discretization& disc,
 std::vector<scheduling_row> scheduling_table(
     const kibam::battery_parameters& battery, std::size_t battery_count,
     bool include_optimal, const load::step_sizes& steps) {
-  const kibam::discretization disc{battery, steps};
-  const auto seq = sched::sequential();
-  const auto rr = sched::round_robin();
-  const auto b2 = sched::best_of_n();
+  // Table 5 as a declarative sweep: one scenario per load x policy cell,
+  // evaluated through the batch engine.
+  std::vector<std::string> policies{"sequential", "round_robin",
+                                    "best_of_n"};
+  if (include_optimal) policies.push_back("opt");
+  std::vector<api::load_spec> loads;
+  for (const load::test_load l : load::all_test_loads()) {
+    loads.emplace_back(l);
+  }
+  std::vector<api::scenario> sweep =
+      api::cross({api::bank(battery_count, battery)}, loads, policies,
+                 {api::fidelity::discrete});
+  for (api::scenario& s : sweep) s.steps = steps;
+
+  const api::engine engine;
+  const std::vector<api::run_result> results = engine.run_batch(sweep);
 
   std::vector<scheduling_row> rows;
-  rows.reserve(load::all_test_loads().size());
-  for (const load::test_load l : load::all_test_loads()) {
-    const load::trace trace = load::paper_trace(l);
+  rows.reserve(loads.size());
+  const std::size_t cells = policies.size();
+  for (std::size_t l = 0; l < loads.size(); ++l) {
+    const api::run_result* cell = &results[l * cells];
     scheduling_row row{};
-    row.load = l;
-    row.sequential_min = policy_lifetime(disc, battery_count, trace, *seq);
-    row.round_robin_min = policy_lifetime(disc, battery_count, trace, *rr);
-    row.best_of_two_min = policy_lifetime(disc, battery_count, trace, *b2);
+    row.load = load::all_test_loads()[l];
+    row.sequential_min = checked(cell[0]).lifetime_min;
+    row.round_robin_min = checked(cell[1]).lifetime_min;
+    row.best_of_two_min = checked(cell[2]).lifetime_min;
     row.sequential_diff_percent =
         percent_diff(row.sequential_min, row.round_robin_min);
     row.best_of_two_diff_percent =
         percent_diff(row.best_of_two_min, row.round_robin_min);
     if (include_optimal) {
-      const opt::optimal_result best =
-          opt::optimal_schedule(disc, battery_count, trace);
-      row.optimal_min = best.lifetime_min;
+      row.optimal_min = checked(cell[3]).lifetime_min;
       row.optimal_diff_percent =
           percent_diff(row.optimal_min, row.round_robin_min);
     }
@@ -73,42 +93,61 @@ std::vector<scheduling_row> scheduling_table(
 
 figure6_data figure6(const kibam::battery_parameters& battery,
                      load::test_load l, const load::step_sizes& steps) {
-  const kibam::discretization disc{battery, steps};
-  const load::trace trace = load::paper_trace(l);
+  api::scenario base{.label = {},
+                     .batteries = api::bank(2, battery),
+                     .load = l,
+                     .policy = "best_of_n",
+                     .model = api::fidelity::discrete,
+                     .steps = steps,
+                     .sim = {}};
+  base.sim.record_trace = true;
+  base.sim.sample_min = 0.05;
 
-  sched::sim_options opts;
-  opts.record_trace = true;
-  opts.sample_min = 0.05;
-
+  const api::engine engine;
   figure6_data out;
-  const auto b2 = sched::best_of_n();
-  out.best_of_two = sched::simulate_discrete(disc, 2, trace, *b2, opts);
+  out.best_of_two = engine.run(base).sim;
 
-  const opt::optimal_result best = opt::optimal_schedule(disc, 2, trace);
+  // One exact search; its decision list replays through the registry's
+  // "fixed" policy, cross-checking schedule and lifetime.
+  const kibam::discretization disc{battery, steps};
+  const opt::optimal_result best =
+      opt::optimal_schedule(disc, 2, load::paper_trace(l));
   out.optimal_lifetime_min = best.lifetime_min;
-  const auto replay = sched::fixed_schedule(best.decisions);
-  out.optimal = sched::simulate_discrete(disc, 2, trace, *replay, opts);
+  api::scenario optimal = base;
+  optimal.policy = sched::fixed_spec(best.decisions);
+  out.optimal = engine.run(optimal).sim;
   return out;
 }
 
 std::vector<residual_point> residual_sweep(const std::vector<double>& scales,
                                            load::test_load l) {
   require(!scales.empty(), "residual_sweep: need at least one scale");
-  const load::trace trace = load::paper_trace(l);
-  std::vector<residual_point> out;
-  out.reserve(scales.size());
+  std::vector<api::scenario> sweep;
+  sweep.reserve(scales.size());
   for (const double scale : scales) {
     require(scale > 0, "residual_sweep: scales must be positive");
-    const kibam::battery_parameters battery =
-        kibam::itsy_battery(5.5 * scale);
-    const std::vector<kibam::battery_parameters> bank(2, battery);
-    const auto b2 = sched::best_of_n();
-    sched::sim_options opts;
-    opts.horizon_min = 1e7;
-    const sched::sim_result res =
-        sched::simulate_continuous(bank, trace, *b2, opts);
-    const double initial = 2 * battery.capacity_amin;
-    out.push_back({scale, battery.capacity_amin, res.lifetime_min,
+    api::scenario s{.label = {},
+                    .batteries =
+                        api::bank(2, kibam::itsy_battery(5.5 * scale)),
+                    .load = l,
+                    .policy = "best_of_n",
+                    .model = api::fidelity::continuous,
+                    .steps = {},
+                    .sim = {}};
+    s.sim.horizon_min = 1e7;
+    sweep.push_back(std::move(s));
+  }
+
+  const api::engine engine;
+  const std::vector<api::run_result> results = engine.run_batch(sweep);
+
+  std::vector<residual_point> out;
+  out.reserve(scales.size());
+  for (std::size_t i = 0; i < scales.size(); ++i) {
+    const sched::sim_result& res = checked(results[i]);
+    const double capacity = sweep[i].batteries.front().capacity_amin;
+    const double initial = 2 * capacity;
+    out.push_back({scales[i], capacity, res.lifetime_min,
                    res.residual_amin / initial});
   }
   return out;

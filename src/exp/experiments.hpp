@@ -1,6 +1,8 @@
 // Experiment harness: programmatic versions of every table and figure in
 // the paper's evaluation (Sections 5 and 6), shared between the benches
-// and the integration tests.
+// and the integration tests. The multi-battery experiments are expressed
+// as declarative scenario sweeps evaluated through api::engine; only the
+// single-battery validation tables drive the kibam models directly.
 #pragma once
 
 #include <cstddef>

@@ -93,8 +93,14 @@ bool constant_node(const node& n) {
 
 std::string str_node(const node& n) {
   const auto bin = [&](const char* sym) {
-    return "(" + str_node(*n.left) + " " + sym + " " + str_node(*n.right) +
-           ")";
+    std::string out = "(";
+    out += str_node(*n.left);
+    out += ' ';
+    out += sym;
+    out += ' ';
+    out += str_node(*n.right);
+    out += ')';
+    return out;
   };
   switch (n.kind) {
     case op::constant: return std::to_string(n.value);
@@ -113,8 +119,18 @@ std::string str_node(const node& n) {
     case op::ne: return bin("!=");
     case op::land: return bin("&&");
     case op::lor: return bin("||");
-    case op::lnot: return "!" + str_node(*n.left);
-    case op::neg: return "-" + str_node(*n.left);
+    // Built via append: `"!" + str_node(...)` trips GCC 12's -Wrestrict
+    // false positive on the rvalue string overload at -O3.
+    case op::lnot: {
+      std::string out = "!";
+      out += str_node(*n.left);
+      return out;
+    }
+    case op::neg: {
+      std::string out = "-";
+      out += str_node(*n.left);
+      return out;
+    }
   }
   return "?";
 }

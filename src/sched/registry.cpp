@@ -1,0 +1,112 @@
+#include "sched/registry.hpp"
+
+#include <charconv>
+
+#include "util/error.hpp"
+
+namespace bsched::sched {
+
+namespace {
+
+/// Parses a '-'-separated decision list, e.g. "0-1-0-1" or "2".
+std::vector<std::size_t> parse_decisions(const std::string& text) {
+  std::vector<std::size_t> out;
+  if (text.empty()) return out;  // pure best-of-n fallback
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t dash = std::min(text.find('-', pos), text.size());
+    std::size_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data() + pos, text.data() + dash, value);
+    require(ec == std::errc{} && ptr == text.data() + dash && dash > pos,
+            "fixed: decisions must be '-'-separated battery indices, got '" +
+                text + "'");
+    out.push_back(value);
+    pos = dash + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+void registry::add(std::string name, factory make) {
+  factories_[std::move(name)] = std::move(make);
+}
+
+bool registry::contains(const std::string& name) const {
+  return factories_.contains(name);
+}
+
+std::unique_ptr<policy> registry::make(const std::string& spec_text) const {
+  const spec s = parse_spec(spec_text);
+  const auto it = factories_.find(s.name);
+  if (it == factories_.end()) {
+    std::string known;
+    for (const auto& [name, unused] : factories_) {
+      if (!known.empty()) known += ", ";
+      known += name;
+    }
+    throw error("registry: unknown policy '" + s.name + "' (known: " +
+                known + ")");
+  }
+  return it->second(s);
+}
+
+std::vector<std::string> registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, unused] : factories_) out.push_back(name);
+  return out;
+}
+
+registry registry::built_in() {
+  registry r;
+  r.add("sequential", [](const spec& s) {
+    s.require_only({});
+    return sequential();
+  });
+  r.add("round_robin", [](const spec& s) {
+    s.require_only({});
+    return round_robin();
+  });
+  r.add("best_of_n", [](const spec& s) {
+    s.require_only({});
+    return best_of_n();
+  });
+  r.add("worst_of_n", [](const spec& s) {
+    s.require_only({});
+    return worst_of_n();
+  });
+  r.add("random", [](const spec& s) {
+    s.require_only({"seed"});
+    return random_choice(s.get_u64("seed", 0));
+  });
+  r.add("fixed", [](const spec& s) {
+    s.require_only({"decisions"});
+    require(s.has("decisions"),
+            "fixed: requires a decisions parameter, e.g. "
+            "'fixed:decisions=0-1-0-1'");
+    return fixed_schedule(parse_decisions(s.get_string("decisions", "")));
+  });
+  return r;
+}
+
+const registry& registry::global() {
+  static const registry instance = built_in();
+  return instance;
+}
+
+std::unique_ptr<policy> make_policy(const std::string& spec_text) {
+  return registry::global().make(spec_text);
+}
+
+std::string fixed_spec(std::span<const std::size_t> decisions) {
+  std::string out = "fixed:decisions=";
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    if (i > 0) out += '-';
+    out += std::to_string(decisions[i]);
+  }
+  return out;
+}
+
+}  // namespace bsched::sched

@@ -1,0 +1,62 @@
+// String-keyed policy registry: every scheduling policy is constructible
+// from a compact spec string, so experiments can be described as data
+// ("best_of_n", "random:seed=42", "fixed:decisions=0-1-0-1") instead of
+// hand-wired factory calls. The built-in names cover everything in
+// policy.hpp; extra factories can be registered on a copy of the built-in
+// registry (api::engine resolves the search-derived names "opt", "worst"
+// and "lookahead" on top of this).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sched/policy.hpp"
+#include "util/spec.hpp"
+
+namespace bsched::sched {
+
+class registry {
+ public:
+  /// Builds a policy from its parsed spec parameters. Factories must
+  /// reject unknown parameters (spec::require_only).
+  using factory = std::function<std::unique_ptr<policy>(const spec&)>;
+
+  /// Registers `make` under `name`; replaces an existing entry.
+  void add(std::string name, factory make);
+
+  /// True when `name` (the bare name, no parameters) is registered.
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Constructs a policy from "name" or "name:key=value,...".
+  /// Throws bsched::error on unknown names or malformed parameters.
+  [[nodiscard]] std::unique_ptr<policy> make(
+      const std::string& spec_text) const;
+
+  /// All registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// The registry with every policy of policy.hpp pre-registered:
+  ///   sequential, round_robin, best_of_n, worst_of_n,
+  ///   random:seed=N (default 0), fixed:decisions=I-I-...
+  [[nodiscard]] static registry built_in();
+
+  /// Shared immutable built-in instance.
+  [[nodiscard]] static const registry& global();
+
+ private:
+  std::map<std::string, factory> factories_;
+};
+
+/// Convenience: `registry::global().make(spec_text)`.
+[[nodiscard]] std::unique_ptr<policy> make_policy(
+    const std::string& spec_text);
+
+/// The spec string reconstructing `fixed_schedule(decisions)` through the
+/// registry, e.g. "fixed:decisions=0-1-0-1".
+[[nodiscard]] std::string fixed_spec(std::span<const std::size_t> decisions);
+
+}  // namespace bsched::sched

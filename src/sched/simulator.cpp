@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "util/error.hpp"
 
@@ -18,228 +19,370 @@ std::size_t checked_choice(policy& pol, const decision_context& ctx) {
   return pick;
 }
 
+/// What happened while serving (part of) a job epoch.
+enum class serve_event {
+  epoch_done,   ///< The epoch ended with the active battery alive.
+  handover,     ///< The active battery died mid-job; others survive.
+  system_dead,  ///< The active battery died and the bank is exhausted.
+};
+
+// The common simulation core, parameterised over a battery-model backend.
+//
+// A Model owns the bank state and all time advancement; the core owns the
+// scheduling protocol: walk epochs, consult the policy at every `new_job`
+// event (job starts and mid-job hand-overs), record decisions and detect
+// system death. A Model provides:
+//   bind(sim_result&)        — where trace points and totals are written;
+//   now()                    — absolute time in minutes;
+//   views()                  — one battery_view per battery;
+//   record_initial()         — the t = 0 trace sample;
+//   idle(epoch)              — advance through an idle epoch;
+//   begin_epoch(epoch)       — stage a job epoch for serving;
+//   begin_service(active)    — a battery was put on (job start or hand-over);
+//   serve(active)            — advance until the epoch ends or `active` dies;
+//   finish(last_active)      — fill lifetime/residual at system death.
+template <class Model>
+sim_result run_simulation(Model& model, const load::trace& load, policy& pol,
+                          const sim_options& opts) {
+  pol.reset();
+  sim_result res;
+  model.bind(res);
+
+  std::size_t job_index = 0;
+  std::optional<std::size_t> previous;
+
+  model.record_initial();
+  load::epoch_cursor cursor{load};
+  while (model.now() < opts.horizon_min) {
+    const load::epoch& e = cursor.current();
+    if (e.current_a <= 0) {
+      model.idle(e);
+      cursor.advance();
+      continue;
+    }
+    model.begin_epoch(e);
+    std::size_t active = checked_choice(
+        pol,
+        {job_index, model.now(), e.current_a, false, previous, model.views()});
+    res.decisions.push_back({model.now(), active, job_index, false});
+    model.begin_service(active);
+    for (;;) {
+      const serve_event ev = model.serve(active);
+      if (ev == serve_event::epoch_done) break;
+      if (ev == serve_event::system_dead) {
+        model.finish(active);
+        return res;
+      }
+      active = checked_choice(
+          pol,
+          {job_index, model.now(), e.current_a, true, active, model.views()});
+      res.decisions.push_back({model.now(), active, job_index, true});
+      model.begin_service(active);
+    }
+    previous = active;
+    ++job_index;
+    cursor.advance();
+  }
+  throw error(std::string{Model::kName} +
+              ": system survived the analysis horizon");
+}
+
+/// dKiBaM backend: integer stepping on a shared (T, Gamma) grid. Banks may
+/// be heterogeneous; batteries of the same type share one discretization
+/// (and its precomputed recovery table) through `idx_`.
+class discrete_model {
+ public:
+  static constexpr const char* kName = "simulate_discrete";
+
+  discrete_model(std::vector<kibam::discretization> discs,
+                 std::vector<std::size_t> idx, const sim_options& opts)
+      : discs_(std::move(discs)), idx_(std::move(idx)), opts_(opts) {
+    require(!idx_.empty(), "simulate: need at least one battery");
+    t_step_ = discs_.front().steps().time_step_min;
+    unit_ = discs_.front().steps().charge_unit_amin;
+    sample_period_ =
+        std::max<std::int64_t>(1, std::llround(opts_.sample_min / t_step_));
+    bats_.reserve(idx_.size());
+    for (const std::size_t i : idx_) {
+      bats_.push_back(kibam::full_discrete(discs_[i]));
+    }
+  }
+
+  void bind(sim_result& res) { res_ = &res; }
+
+  [[nodiscard]] double now() const {
+    return static_cast<double>(step_count_) * t_step_;
+  }
+
+  [[nodiscard]] std::vector<battery_view> views() const {
+    std::vector<battery_view> out;
+    out.reserve(bats_.size());
+    for (std::size_t i = 0; i < bats_.size(); ++i) {
+      const auto& b = bats_[i];
+      out.push_back(
+          {i, static_cast<double>(b.n) * unit_,
+           static_cast<double>(disc_of(i).available_permille(b.n, b.m)) *
+               unit_ / 1000.0,
+           b.empty});
+    }
+    return out;
+  }
+
+  void record_initial() { record(-1); }
+
+  void idle(const load::epoch& e) {
+    const auto steps = epoch_steps(e);
+    for (std::int64_t i = 0; i < steps; ++i) {
+      ++step_count_;
+      for (std::size_t b = 0; b < bats_.size(); ++b) {
+        kibam::step(disc_of(b), bats_[b], {0, 0});
+      }
+      record(-1);
+    }
+  }
+
+  void begin_epoch(const load::epoch& e) {
+    rate_ = load::rate_for(e.current_a, discs_.front().steps());
+    remaining_ = epoch_steps(e);
+  }
+
+  void begin_service(std::size_t active) {
+    bats_[active].discharge_elapsed = 0;  // go_on resets c_disch
+    if (pending_record_) {
+      // The sample of the death step, attributed to the hand-over target
+      // the policy just picked.
+      record(static_cast<int>(active));
+      pending_record_ = false;
+    }
+  }
+
+  serve_event serve(std::size_t active) {
+    while (remaining_ > 0) {
+      --remaining_;
+      ++step_count_;
+      kibam::step_event ev = kibam::step_event::none;
+      for (std::size_t b = 0; b < bats_.size(); ++b) {
+        const auto e_b = kibam::step(
+            disc_of(b), bats_[b],
+            b == active ? rate_ : load::draw_rate{0, 0});
+        if (b == active) ev = e_b;
+      }
+      if (ev == kibam::step_event::died) {
+        const bool all = std::ranges::all_of(
+            bats_, [](const auto& b) { return b.empty; });
+        if (all) return serve_event::system_dead;
+        pending_record_ = true;
+        return serve_event::handover;
+      }
+      record(static_cast<int>(active));
+    }
+    return serve_event::epoch_done;
+  }
+
+  void finish(std::size_t last_active) {
+    res_->lifetime_min = now();
+    double residual = 0;
+    for (const auto& b : bats_) residual += static_cast<double>(b.n) * unit_;
+    res_->residual_amin = residual;
+    record(static_cast<int>(last_active));
+  }
+
+ private:
+  [[nodiscard]] const kibam::discretization& disc_of(std::size_t b) const {
+    return discs_[idx_[b]];
+  }
+
+  [[nodiscard]] std::int64_t epoch_steps(const load::epoch& e) const {
+    return static_cast<std::int64_t>(std::llround(e.duration_min / t_step_));
+  }
+
+  void record(int active) {
+    if (!opts_.record_trace || step_count_ % sample_period_ != 0) return;
+    trace_point pt;
+    pt.time_min = now();
+    pt.active = active;
+    for (std::size_t b = 0; b < bats_.size(); ++b) {
+      pt.total_amin.push_back(static_cast<double>(bats_[b].n) * unit_);
+      const kibam::state cont = disc_of(b).to_continuous(bats_[b].n,
+                                                         bats_[b].m);
+      pt.available_amin.push_back(
+          kibam::available_charge(disc_of(b).params(), cont));
+    }
+    res_->trace.push_back(std::move(pt));
+  }
+
+  std::vector<kibam::discretization> discs_;
+  std::vector<std::size_t> idx_;  ///< Battery -> entry in discs_.
+  sim_options opts_;
+  std::vector<kibam::discrete_state> bats_;
+  sim_result* res_ = nullptr;
+  double t_step_ = 0;
+  double unit_ = 0;
+  std::int64_t sample_period_ = 1;
+  std::int64_t step_count_ = 0;
+  std::int64_t remaining_ = 0;
+  load::draw_rate rate_{0, 0};
+  bool pending_record_ = false;
+};
+
+/// Analytic KiBaM backend: segment-exact closed-form advancement with
+/// exact death-time location.
+class continuous_model {
+ public:
+  static constexpr const char* kName = "simulate_continuous";
+
+  continuous_model(const std::vector<kibam::battery_parameters>& batteries,
+                   const sim_options& opts)
+      : batteries_(batteries), opts_(opts) {
+    require(!batteries_.empty(), "simulate: need at least one battery");
+    for (const auto& p : batteries_) kibam::validate(p);
+    states_.reserve(batteries_.size());
+    for (const auto& p : batteries_) states_.push_back(kibam::full(p));
+    empty_.assign(batteries_.size(), false);
+  }
+
+  void bind(sim_result& res) { res_ = &res; }
+
+  [[nodiscard]] double now() const { return now_; }
+
+  [[nodiscard]] std::vector<battery_view> views() const {
+    std::vector<battery_view> out;
+    out.reserve(batteries_.size());
+    for (std::size_t i = 0; i < batteries_.size(); ++i) {
+      out.push_back({i, states_[i].gamma,
+                     kibam::available_charge(batteries_[i], states_[i]),
+                     empty_[i] != false});
+    }
+    return out;
+  }
+
+  void record_initial() { record(-1); }
+
+  void idle(const load::epoch& e) {
+    advance_recorded(e.duration_min, std::nullopt, 0);
+  }
+
+  void begin_epoch(const load::epoch& e) {
+    left_ = e.duration_min;
+    current_ = e.current_a;
+  }
+
+  void begin_service(std::size_t /*active*/) {}
+
+  serve_event serve(std::size_t active) {
+    while (left_ > 1e-12) {
+      const auto death = kibam::time_to_empty(batteries_[active],
+                                              states_[active], current_,
+                                              left_);
+      if (!death) {
+        advance_recorded(left_, active, current_);
+        return serve_event::epoch_done;
+      }
+      advance_recorded(*death, active, current_);
+      left_ -= *death;
+      empty_[active] = true;
+      if (std::ranges::all_of(empty_, [](bool b) { return b; })) {
+        return serve_event::system_dead;
+      }
+      return serve_event::handover;
+    }
+    return serve_event::epoch_done;
+  }
+
+  void finish(std::size_t /*last_active*/) {
+    res_->lifetime_min = now_;
+    double residual = 0;
+    for (const auto& s : states_) residual += s.gamma;
+    res_->residual_amin = residual;
+  }
+
+ private:
+  void record(int active) {
+    if (!opts_.record_trace) return;
+    trace_point pt;
+    pt.time_min = now_;
+    pt.active = active;
+    for (std::size_t i = 0; i < batteries_.size(); ++i) {
+      pt.total_amin.push_back(states_[i].gamma);
+      pt.available_amin.push_back(
+          kibam::available_charge(batteries_[i], states_[i]));
+    }
+    res_->trace.push_back(std::move(pt));
+  }
+
+  // Advances every battery by dt; `active` (if any) draws `current`.
+  void advance_all(double dt, std::optional<std::size_t> active,
+                   double current) {
+    for (std::size_t i = 0; i < batteries_.size(); ++i) {
+      const double draw = (active && *active == i) ? current : 0.0;
+      states_[i] = kibam::advance(batteries_[i], states_[i], draw, dt);
+    }
+    now_ += dt;
+  }
+
+  // Advances in sampling sub-steps so the recorded trace is dense.
+  void advance_recorded(double dt, std::optional<std::size_t> active,
+                        double current) {
+    if (!opts_.record_trace) {
+      advance_all(dt, active, current);
+      return;
+    }
+    double remaining = dt;
+    while (remaining > 1e-12) {
+      const double sub = std::min(opts_.sample_min, remaining);
+      advance_all(sub, active, current);
+      remaining -= sub;
+      record(active ? static_cast<int>(*active) : -1);
+    }
+  }
+
+  std::vector<kibam::battery_parameters> batteries_;
+  sim_options opts_;
+  std::vector<kibam::state> states_;
+  std::vector<bool> empty_;
+  sim_result* res_ = nullptr;
+  double now_ = 0;
+  double left_ = 0;
+  double current_ = 0;
+};
+
 }  // namespace
+
+sim_result simulate_discrete(
+    const std::vector<kibam::battery_parameters>& batteries,
+    const load::trace& load, policy& pol, const sim_options& opts,
+    const load::step_sizes& steps) {
+  require(!batteries.empty(), "simulate: need at least one battery");
+  // One discretization per battery *type*: identical parameters share the
+  // precomputed recovery table.
+  std::vector<kibam::discretization> discs;
+  std::vector<std::size_t> idx;
+  idx.reserve(batteries.size());
+  for (const auto& p : batteries) {
+    std::size_t i = 0;
+    while (i < discs.size() && !(discs[i].params() == p)) ++i;
+    if (i == discs.size()) discs.emplace_back(p, steps);
+    idx.push_back(i);
+  }
+  discrete_model model{std::move(discs), std::move(idx), opts};
+  return run_simulation(model, load, pol, opts);
+}
 
 sim_result simulate_discrete(const kibam::discretization& disc,
                              std::size_t battery_count,
                              const load::trace& load, policy& pol,
                              const sim_options& opts) {
   require(battery_count >= 1, "simulate: need at least one battery");
-  pol.reset();
-
-  std::vector<kibam::discrete_state> bats(battery_count,
-                                          kibam::full_discrete(disc));
-  const double t_step = disc.steps().time_step_min;
-  const double unit = disc.steps().charge_unit_amin;
-  const auto sample_period = std::max<std::int64_t>(
-      1, std::llround(opts.sample_min / t_step));
-
-  sim_result res;
-  std::int64_t step_count = 0;
-  std::size_t job_index = 0;
-  std::optional<std::size_t> previous;
-
-  const auto make_views = [&] {
-    std::vector<battery_view> views;
-    views.reserve(battery_count);
-    for (std::size_t i = 0; i < battery_count; ++i) {
-      const auto& b = bats[i];
-      views.push_back(
-          {i, static_cast<double>(b.n) * unit,
-           static_cast<double>(disc.available_permille(b.n, b.m)) * unit /
-               1000.0,
-           b.empty});
-    }
-    return views;
-  };
-
-  const auto record = [&](int active) {
-    if (!opts.record_trace || step_count % sample_period != 0) return;
-    trace_point pt;
-    pt.time_min = static_cast<double>(step_count) * t_step;
-    pt.active = active;
-    for (const auto& b : bats) {
-      pt.total_amin.push_back(static_cast<double>(b.n) * unit);
-      const kibam::state cont = disc.to_continuous(b.n, b.m);
-      pt.available_amin.push_back(
-          kibam::available_charge(disc.params(), cont));
-    }
-    res.trace.push_back(std::move(pt));
-  };
-
-  const auto finish = [&] {
-    res.lifetime_min = static_cast<double>(step_count) * t_step;
-    double residual = 0;
-    for (const auto& b : bats) residual += static_cast<double>(b.n) * unit;
-    res.residual_amin = residual;
-  };
-
-  record(-1);
-  load::epoch_cursor cursor{load};
-  while (static_cast<double>(step_count) * t_step < opts.horizon_min) {
-    const load::epoch& e = cursor.current();
-    const auto epoch_steps =
-        static_cast<std::int64_t>(std::llround(e.duration_min / t_step));
-    if (e.current_a <= 0) {
-      for (std::int64_t i = 0; i < epoch_steps; ++i) {
-        ++step_count;
-        for (auto& b : bats) kibam::step(disc, b, {0, 0});
-        record(-1);
-      }
-    } else {
-      const load::draw_rate rate = load::rate_for(e.current_a, disc.steps());
-      const auto views = make_views();
-      std::size_t active = checked_choice(
-          pol, {job_index, static_cast<double>(step_count) * t_step,
-                e.current_a, false, previous, views});
-      res.decisions.push_back({static_cast<double>(step_count) * t_step,
-                               active, job_index, false});
-      bats[active].discharge_elapsed = 0;  // go_on resets c_disch
-      for (std::int64_t i = 0; i < epoch_steps; ++i) {
-        ++step_count;
-        kibam::step_event ev = kibam::step_event::none;
-        for (std::size_t b = 0; b < battery_count; ++b) {
-          const auto e_b = kibam::step(
-              disc, bats[b], b == active ? rate : load::draw_rate{0, 0});
-          if (b == active) ev = e_b;
-        }
-        if (ev == kibam::step_event::died) {
-          const bool all_empty = std::ranges::all_of(
-              bats, [](const auto& b) { return b.empty; });
-          if (all_empty) {
-            finish();
-            record(static_cast<int>(active));
-            return res;
-          }
-          const auto hand_views = make_views();
-          active = checked_choice(
-              pol, {job_index, static_cast<double>(step_count) * t_step,
-                    e.current_a, true, active, hand_views});
-          res.decisions.push_back({static_cast<double>(step_count) * t_step,
-                                   active, job_index, true});
-          bats[active].discharge_elapsed = 0;
-        }
-        record(static_cast<int>(active));
-      }
-      previous = active;
-      ++job_index;
-    }
-    cursor.advance();
-  }
-  throw error("simulate_discrete: system survived the analysis horizon");
+  discrete_model model{{disc},
+                       std::vector<std::size_t>(battery_count, 0), opts};
+  return run_simulation(model, load, pol, opts);
 }
 
 sim_result simulate_continuous(
     const std::vector<kibam::battery_parameters>& batteries,
     const load::trace& load, policy& pol, const sim_options& opts) {
-  require(!batteries.empty(), "simulate: need at least one battery");
-  for (const auto& p : batteries) kibam::validate(p);
-  pol.reset();
-
-  const std::size_t count = batteries.size();
-  std::vector<kibam::state> states;
-  states.reserve(count);
-  for (const auto& p : batteries) states.push_back(kibam::full(p));
-  std::vector<bool> empty(count, false);
-
-  sim_result res;
-  double now = 0;
-  std::size_t job_index = 0;
-  std::optional<std::size_t> previous;
-
-  const auto make_views = [&] {
-    std::vector<battery_view> views;
-    views.reserve(count);
-    for (std::size_t i = 0; i < count; ++i) {
-      views.push_back({i, states[i].gamma,
-                       kibam::available_charge(batteries[i], states[i]),
-                       empty[i] != false});
-    }
-    return views;
-  };
-
-  const auto record = [&](int active) {
-    if (!opts.record_trace) return;
-    trace_point pt;
-    pt.time_min = now;
-    pt.active = active;
-    for (std::size_t i = 0; i < count; ++i) {
-      pt.total_amin.push_back(states[i].gamma);
-      pt.available_amin.push_back(
-          kibam::available_charge(batteries[i], states[i]));
-    }
-    res.trace.push_back(std::move(pt));
-  };
-
-  // Advances every battery by dt; `active` (if any) draws `current`.
-  const auto advance_all = [&](double dt, std::optional<std::size_t> active,
-                               double current) {
-    for (std::size_t i = 0; i < count; ++i) {
-      const double draw = (active && *active == i) ? current : 0.0;
-      states[i] = kibam::advance(batteries[i], states[i], draw, dt);
-    }
-    now += dt;
-  };
-
-  // Advances in sampling sub-steps so the recorded trace is dense.
-  const auto advance_recorded = [&](double dt,
-                                    std::optional<std::size_t> active,
-                                    double current) {
-    if (!opts.record_trace) {
-      advance_all(dt, active, current);
-      return;
-    }
-    double remaining = dt;
-    while (remaining > 1e-12) {
-      const double sub = std::min(opts.sample_min, remaining);
-      advance_all(sub, active, current);
-      remaining -= sub;
-      record(active ? static_cast<int>(*active) : -1);
-    }
-  };
-
-  record(-1);
-  load::epoch_cursor cursor{load};
-  while (now < opts.horizon_min) {
-    const load::epoch& e = cursor.current();
-    if (e.current_a <= 0) {
-      advance_recorded(e.duration_min, std::nullopt, 0);
-      cursor.advance();
-      continue;
-    }
-    double left = e.duration_min;
-    const auto views = make_views();
-    std::size_t active = checked_choice(
-        pol, {job_index, now, e.current_a, false, previous, views});
-    res.decisions.push_back({now, active, job_index, false});
-    while (left > 1e-12) {
-      const auto death = kibam::time_to_empty(batteries[active],
-                                              states[active], e.current_a,
-                                              left);
-      if (!death) {
-        advance_recorded(left, active, e.current_a);
-        break;
-      }
-      advance_recorded(*death, active, e.current_a);
-      left -= *death;
-      empty[active] = true;
-      if (std::ranges::all_of(empty, [](bool b) { return b; })) {
-        res.lifetime_min = now;
-        double residual = 0;
-        for (const auto& s : states) residual += s.gamma;
-        res.residual_amin = residual;
-        return res;
-      }
-      const auto hand_views = make_views();
-      active = checked_choice(
-          pol, {job_index, now, e.current_a, true, active, hand_views});
-      res.decisions.push_back({now, active, job_index, true});
-    }
-    previous = active;
-    ++job_index;
-    cursor.advance();
-  }
-  throw error("simulate_continuous: system survived the analysis horizon");
+  continuous_model model{batteries, opts};
+  return run_simulation(model, load, pol, opts);
 }
 
 }  // namespace bsched::sched

@@ -6,14 +6,18 @@
 //                 the model Tables 3-5 are computed with;
 //   * continuous — the analytic KiBaM advanced segment-exactly; used for
 //                 cross-validation and cheap capacity sweeps.
-// The system lifetime is the instant the last battery is observed empty
-// while serving load (the `maximum finder` semantics of Fig. 5(e)).
+// Both fidelities run through one epoch/job/hand-over core (simulator.cpp)
+// parameterised over a battery-model backend; only time advancement and
+// trace sampling differ between them. Banks may be heterogeneous in either
+// mode. The system lifetime is the instant the last battery is observed
+// empty while serving load (the `maximum finder` semantics of Fig. 5(e)).
 #pragma once
 
 #include <vector>
 
 #include "kibam/discrete.hpp"
 #include "kibam/kibam.hpp"
+#include "load/discretize.hpp"
 #include "load/trace.hpp"
 #include "sched/policy.hpp"
 
@@ -25,6 +29,8 @@ struct decision {
   std::size_t battery;
   std::size_t job_index;
   bool handover;  ///< True when caused by a mid-job battery death.
+
+  friend bool operator==(const decision&, const decision&) = default;
 };
 
 /// Sampled system state for plotting (Figure 6).
@@ -33,6 +39,8 @@ struct trace_point {
   std::vector<double> total_amin;      ///< gamma per battery.
   std::vector<double> available_amin;  ///< y1 per battery.
   int active;                          ///< Battery in use, -1 when idle.
+
+  friend bool operator==(const trace_point&, const trace_point&) = default;
 };
 
 struct sim_options {
@@ -48,9 +56,21 @@ struct sim_result {
   /// Total charge left in the bank at death (the residual the paper's
   /// Section 6 discusses: ~70% for ILs alt at C = 5.5).
   double residual_amin = 0;
+
+  friend bool operator==(const sim_result&, const sim_result&) = default;
 };
 
-/// Discrete (dKiBaM) simulation of `battery_count` identical batteries.
+/// Discrete (dKiBaM) simulation of a possibly heterogeneous bank: each
+/// battery is stepped on its own discretization built over the shared grid
+/// `steps`. An identical bank reproduces the identical-battery overload
+/// below exactly (integer stepping; see tests/test_simulator.cpp).
+[[nodiscard]] sim_result simulate_discrete(
+    const std::vector<kibam::battery_parameters>& batteries,
+    const load::trace& load, policy& pol, const sim_options& opts = {},
+    const load::step_sizes& steps = {});
+
+/// Discrete simulation of `battery_count` identical batteries (the paper's
+/// Tables 3-5 setup).
 [[nodiscard]] sim_result simulate_discrete(const kibam::discretization& disc,
                                            std::size_t battery_count,
                                            const load::trace& load,

@@ -1,0 +1,45 @@
+// Parsing of compact spec strings: "name" or "name:key=value,key=value".
+//
+// Both the policy registry ("random:seed=42") and the scenario load specs
+// ("markov:count=40,p=0.7,seed=9") describe themselves with these strings,
+// so the grammar and its error reporting live here once.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace bsched {
+
+/// A parsed spec: the bare name plus its key=value parameters.
+struct spec {
+  std::string name;
+  std::map<std::string, std::string> params;
+
+  /// True when `key` was given.
+  [[nodiscard]] bool has(const std::string& key) const {
+    return params.contains(key);
+  }
+
+  /// Typed parameter access with defaults. Throws bsched::error when the
+  /// value does not parse (or, for the default-less forms, is missing).
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key,
+                                      std::uint64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+
+  /// Throws bsched::error when a parameter outside `allowed` was given —
+  /// catches typos like "random:sede=42" at construction time.
+  void require_only(std::initializer_list<const char*> allowed) const;
+
+  /// Renders back to "name:key=value,..." (params in sorted key order).
+  [[nodiscard]] std::string str() const;
+};
+
+/// Parses "name" or "name:k=v,k=v". Whitespace is not trimmed; an empty
+/// name, an empty key, or a duplicate key throws bsched::error.
+[[nodiscard]] spec parse_spec(const std::string& text);
+
+}  // namespace bsched

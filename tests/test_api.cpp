@@ -1,0 +1,267 @@
+// The scenario/engine front door: load specs, engine::run equivalence with
+// the direct simulate_* calls, search-derived policies, and run_batch
+// determinism across thread counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "api/engine.hpp"
+#include "api/scenario.hpp"
+#include "load/random.hpp"
+#include "opt/search.hpp"
+#include "sched/registry.hpp"
+#include "util/error.hpp"
+
+namespace bsched::api {
+namespace {
+
+const kibam::battery_parameters b1 = kibam::battery_b1();
+
+TEST(LoadSpec, ParsesPaperNamesAndRandomSpecs) {
+  EXPECT_EQ(load_spec::parse("ILs alt").materialize(),
+            load::paper_trace(load::test_load::ils_alt));
+  EXPECT_EQ(load_spec::parse("CL 250").describe(), "CL 250");
+
+  const load_spec markov =
+      load_spec::parse("markov:count=10,p=0.7,idle=1,seed=3");
+  EXPECT_EQ(markov.materialize(),
+            load::markov_jobs(10, 0.7, 1.0, 3).to_trace());
+  EXPECT_EQ(markov.describe(), "markov(seed=3)");
+
+  EXPECT_THROW((void)load_spec::parse("no such load"), error);
+  EXPECT_THROW((void)load_spec::parse("markov:count=10,sede=3"), error);
+}
+
+TEST(LoadSpec, ExplicitTracePassesThrough) {
+  const load::trace t{{{1.0, 0.25}, {2.0, 0.0}}};
+  const load_spec spec{t};
+  EXPECT_EQ(spec.materialize(), t);
+}
+
+TEST(Engine, RunMatchesDirectSimulateOnTable5Loads) {
+  const engine eng;
+  const kibam::discretization disc{b1};
+  for (const load::test_load l : load::all_test_loads()) {
+    const load::trace trace = load::paper_trace(l);
+    for (const char* policy :
+         {"sequential", "round_robin", "best_of_n"}) {
+      const scenario scn{.label = {},
+                         .batteries = bank(2, b1),
+                         .load = l,
+                         .policy = policy,
+                         .model = fidelity::discrete,
+                         .steps = {},
+                         .sim = {}};
+      const run_result via_engine = eng.run(scn);
+      const auto direct_pol = sched::make_policy(policy);
+      const sched::sim_result direct =
+          sched::simulate_discrete(disc, 2, trace, *direct_pol);
+      EXPECT_EQ(via_engine.sim, direct)
+          << policy << " on " << load::name(l);
+    }
+  }
+}
+
+TEST(Engine, ContinuousFidelityMatchesDirectSimulate) {
+  const engine eng;
+  const scenario scn{.label = {},
+                     .batteries = {b1, kibam::battery_b2()},
+                     .load = load::test_load::ils_500,
+                     .policy = "best_of_n",
+                     .model = fidelity::continuous,
+                     .steps = {},
+                     .sim = {}};
+  const run_result via_engine = eng.run(scn);
+  const auto pol = sched::make_policy("best_of_n");
+  const sched::sim_result direct = sched::simulate_continuous(
+      scn.batteries, load::paper_trace(load::test_load::ils_500), *pol);
+  EXPECT_EQ(via_engine.sim, direct);
+  EXPECT_EQ(via_engine.policy_name, "best-of-n");
+}
+
+TEST(Engine, OptPolicyReproducesExactSearch) {
+  const engine eng;
+  const load::trace trace = load::paper_trace(load::test_load::cl_alt);
+  const kibam::discretization disc{b1};
+  const opt::optimal_result best = opt::optimal_schedule(disc, 2, trace);
+  const scenario scn{.label = {},
+                     .batteries = bank(2, b1),
+                     .load = load::test_load::cl_alt,
+                     .policy = "opt",
+                     .model = fidelity::discrete,
+                     .steps = {},
+                     .sim = {}};
+  const run_result r = eng.run(scn);
+  EXPECT_NEAR(r.sim.lifetime_min, best.lifetime_min, 1e-12);
+  EXPECT_EQ(r.policy_name, "opt");
+
+  scenario worst_scn = scn;
+  worst_scn.policy = "worst";
+  const run_result w = eng.run(worst_scn);
+  EXPECT_EQ(w.policy_name, "worst");
+  EXPECT_NEAR(w.sim.lifetime_min,
+              opt::worst_schedule(disc, 2, trace).lifetime_min, 1e-12);
+  EXPECT_LE(w.sim.lifetime_min, r.sim.lifetime_min);
+}
+
+TEST(Engine, LookaheadPolicyRunsViaName) {
+  const engine eng;
+  const scenario scn{.label = {},
+                     .batteries = bank(2, b1),
+                     .load = load::test_load::cl_alt,
+                     .policy = "lookahead:horizon=2",
+                     .model = fidelity::discrete,
+                     .steps = {},
+                     .sim = {}};
+  const run_result r = eng.run(scn);
+  EXPECT_GT(r.sim.lifetime_min, 0.0);
+}
+
+TEST(Engine, SearchPoliciesRejectHeterogeneousBanks) {
+  const engine eng;
+  const scenario scn{.label = {},
+                     .batteries = {b1, kibam::battery_b2()},
+                     .load = load::test_load::cl_alt,
+                     .policy = "opt",
+                     .model = fidelity::discrete,
+                     .steps = {},
+                     .sim = {}};
+  EXPECT_THROW((void)eng.run(scn), error);
+}
+
+TEST(Engine, SearchPoliciesRejectContinuousFidelity) {
+  // A discrete-grid decision list replayed continuously would silently
+  // diverge at hand-overs, so the engine refuses the combination.
+  const engine eng;
+  const scenario scn{.label = {},
+                     .batteries = bank(2, b1),
+                     .load = load::test_load::cl_alt,
+                     .policy = "worst",
+                     .model = fidelity::continuous,
+                     .steps = {},
+                     .sim = {}};
+  EXPECT_THROW((void)eng.run(scn), error);
+}
+
+// The acceptance sweep: 2 batteries x all ten test loads x three
+// policies x both fidelities, expressed as data and run through the
+// batch engine.
+std::vector<scenario> acceptance_sweep() {
+  std::vector<load_spec> loads;
+  for (const load::test_load l : load::all_test_loads()) {
+    loads.emplace_back(l);
+  }
+  return cross({bank(2, b1)}, loads,
+               {"sequential", "round_robin", "best_of_n"},
+               {fidelity::discrete, fidelity::continuous});
+}
+
+TEST(RunBatch, DeterministicAcrossThreadCounts) {
+  const engine eng;
+  const std::vector<scenario> sweep = acceptance_sweep();
+  ASSERT_EQ(sweep.size(), 60u);
+  const std::vector<run_result> one = eng.run_batch(sweep, 1);
+  const std::vector<run_result> two = eng.run_batch(sweep, 2);
+  const std::vector<run_result> eight = eng.run_batch(sweep, 8);
+  ASSERT_EQ(one.size(), sweep.size());
+  for (const run_result& r : one) {
+    EXPECT_TRUE(r.ok()) << r.error;
+    EXPECT_GT(r.sim.lifetime_min, 0.0);
+  }
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+}
+
+TEST(RunBatch, SeededScenariosAreReproducible) {
+  const engine eng;
+  const scenario scn{.label = {},
+                     .batteries = bank(2, b1),
+                     .load = load_spec::parse("markov:count=30,p=0.7,seed=11"),
+                     .policy = "random:seed=42",
+                     .model = fidelity::discrete,
+                     .steps = {},
+                     .sim = {}};
+  const std::vector<scenario> batch(4, scn);
+  const std::vector<run_result> results = eng.run_batch(batch, 4);
+  for (const run_result& r : results) {
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r, results.front());
+  }
+}
+
+TEST(RunBatch, CapturesPerScenarioFailures) {
+  const engine eng;
+  scenario good{.label = {},
+                .batteries = bank(2, b1),
+                .load = load::test_load::cl_250,
+                .policy = "best_of_n",
+                .model = fidelity::discrete,
+                .steps = {},
+                .sim = {}};
+  scenario bad = good;
+  bad.policy = "no_such_policy";
+  const std::vector<scenario> batch{good, bad, good};
+  const std::vector<run_result> results = eng.run_batch(batch, 2);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_NE(results[1].error.find("no_such_policy"), std::string::npos);
+  EXPECT_TRUE(results[2].ok());
+  EXPECT_EQ(results[0], results[2]);
+}
+
+TEST(Engine, PolicyNamesMergeRegistryAndEngineNames) {
+  const engine eng;
+  const std::vector<std::string> names = eng.policy_names();
+  for (const char* expected :
+       {"best_of_n", "fixed", "lookahead", "opt", "random", "round_robin",
+        "sequential", "worst", "worst_of_n"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(Scenario, DescribeIsHumanReadable) {
+  const scenario scn{.label = {},
+                     .batteries = bank(2, b1),
+                     .load = load::test_load::ils_alt,
+                     .policy = "best_of_n",
+                     .model = fidelity::discrete,
+                     .steps = {},
+                     .sim = {}};
+  EXPECT_EQ(scn.describe(), "2xC=5.5 | ILs alt | best_of_n | discrete");
+  scenario labelled = scn;
+  labelled.label = "headline";
+  EXPECT_EQ(labelled.describe(), "headline");
+  scenario mixed = scn;
+  mixed.batteries = {b1, kibam::battery_b2()};
+  mixed.model = fidelity::continuous;
+  EXPECT_EQ(mixed.describe(),
+            "2x(C=5.5,C=11) | ILs alt | best_of_n | continuous");
+}
+
+TEST(Engine, RegistryEntriesWinOverEngineNames) {
+  // A custom registration of "opt" must not be shadowed by the engine's
+  // search-derived policy of the same name.
+  engine_options opts;
+  opts.policies.add("opt", [](const spec& s) {
+    s.require_only({});
+    return sched::sequential();
+  });
+  const engine eng{std::move(opts)};
+  const scenario scn{.label = {},
+                     .batteries = bank(2, b1),
+                     .load = load::test_load::cl_250,
+                     .policy = "opt",
+                     .model = fidelity::discrete,
+                     .steps = {},
+                     .sim = {}};
+  const run_result r = eng.run(scn);
+  EXPECT_EQ(r.policy_name, "sequential");
+  // And policy_names() lists the overridden name exactly once.
+  const std::vector<std::string> names = eng.policy_names();
+  EXPECT_EQ(std::count(names.begin(), names.end(), "opt"), 1);
+}
+
+}  // namespace
+}  // namespace bsched::api

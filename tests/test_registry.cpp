@@ -1,0 +1,112 @@
+// Policy registry: string-spec round trips for every built-in policy,
+// parameter handling, and error reporting.
+#include <gtest/gtest.h>
+
+#include "sched/registry.hpp"
+#include "util/error.hpp"
+#include "util/spec.hpp"
+
+namespace bsched::sched {
+namespace {
+
+TEST(SpecParse, NameOnly) {
+  const spec s = parse_spec("best_of_n");
+  EXPECT_EQ(s.name, "best_of_n");
+  EXPECT_TRUE(s.params.empty());
+}
+
+TEST(SpecParse, Parameters) {
+  const spec s = parse_spec("random:seed=42,extra=x");
+  EXPECT_EQ(s.name, "random");
+  EXPECT_EQ(s.get_u64("seed", 0), 42u);
+  EXPECT_EQ(s.get_string("extra", ""), "x");
+  EXPECT_EQ(s.get_u64("missing", 7), 7u);
+  EXPECT_EQ(s.str(), "random:extra=x,seed=42");
+}
+
+TEST(SpecParse, Errors) {
+  EXPECT_THROW((void)parse_spec(""), error);
+  EXPECT_THROW((void)parse_spec(":seed=1"), error);
+  EXPECT_THROW((void)parse_spec("random:seed"), error);
+  EXPECT_THROW((void)parse_spec("random:seed=1,seed=2"), error);
+  EXPECT_THROW((void)parse_spec("random:seed=zzz").get_u64("seed", 0),
+               error);
+}
+
+TEST(Registry, EveryBuiltInConstructsAndNames) {
+  // Registry key -> display name of the constructed policy.
+  const struct {
+    const char* spec;
+    const char* display;
+  } cases[] = {
+      {"sequential", "sequential"},
+      {"round_robin", "round robin"},
+      {"best_of_n", "best-of-n"},
+      {"worst_of_n", "worst-of-n"},
+      {"random:seed=42", "random"},
+      {"fixed:decisions=0-1-0-1", "fixed schedule"},
+  };
+  for (const auto& c : cases) {
+    const auto pol = make_policy(c.spec);
+    ASSERT_NE(pol, nullptr) << c.spec;
+    EXPECT_EQ(pol->name(), c.display) << c.spec;
+  }
+  // Every registered name is covered by the table above.
+  EXPECT_EQ(registry::global().names().size(), std::size(cases));
+}
+
+TEST(Registry, RandomSeedIsHonoured) {
+  const std::vector<battery_view> views{{0, 5.0, 0.9, false},
+                                        {1, 5.0, 0.9, false},
+                                        {2, 5.0, 0.9, false}};
+  const decision_context ctx{0, 0.0, 0.25, false, std::nullopt, views};
+  const auto a = make_policy("random:seed=7");
+  const auto b = make_policy("random:seed=7");
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(a->choose(ctx), b->choose(ctx)) << "draw " << i;
+  }
+}
+
+TEST(Registry, FixedSpecRoundTrips) {
+  const std::vector<std::size_t> decisions{0, 1, 1, 0, 2};
+  EXPECT_EQ(fixed_spec(decisions), "fixed:decisions=0-1-1-0-2");
+  const auto pol = make_policy(fixed_spec(decisions));
+  const std::vector<battery_view> views{{0, 5.0, 0.9, false},
+                                        {1, 5.0, 0.9, false},
+                                        {2, 5.0, 0.9, false}};
+  const decision_context ctx{0, 0.0, 0.25, false, std::nullopt, views};
+  for (const std::size_t expected : decisions) {
+    EXPECT_EQ(pol->choose(ctx), expected);
+  }
+}
+
+TEST(Registry, RejectsUnknownNamesAndParameters) {
+  EXPECT_THROW((void)make_policy("no_such_policy"), error);
+  EXPECT_THROW((void)make_policy("best_of_n:seed=1"), error);
+  EXPECT_THROW((void)make_policy("random:sede=42"), error);
+  EXPECT_THROW((void)make_policy("fixed"), error);
+  EXPECT_THROW((void)make_policy("fixed:decisions=0;1"), error);
+}
+
+TEST(Registry, CopiesAreIndependentlyExtensible) {
+  registry mine = registry::built_in();
+  mine.add("always_last", [](const spec& s) {
+    s.require_only({});
+    class last final : public policy {
+      std::size_t choose(const decision_context& ctx) override {
+        for (std::size_t i = ctx.batteries.size(); i-- > 0;) {
+          if (!ctx.batteries[i].empty) return i;
+        }
+        throw error("always_last: all batteries empty");
+      }
+      std::string name() const override { return "always last"; }
+    };
+    return std::make_unique<last>();
+  });
+  EXPECT_TRUE(mine.contains("always_last"));
+  EXPECT_FALSE(registry::global().contains("always_last"));
+  EXPECT_EQ(mine.make("always_last")->name(), "always last");
+}
+
+}  // namespace
+}  // namespace bsched::sched

@@ -218,5 +218,51 @@ TEST(SimulatorContinuous, MoreBatteriesLiveLonger) {
   }
 }
 
+// --- Heterogeneous discrete banks (the bank-of-parameters overload). ---
+
+TEST(SimulatorDiscrete, BankOverloadMatchesIdenticalBankExactly) {
+  // Regression for the discrete/continuous unification: the new
+  // bank-of-parameters overload must reproduce the identical-bank
+  // overload bit for bit (both run integer stepping).
+  const auto d = disc_b1();
+  const std::vector<kibam::battery_parameters> bank(2, kibam::battery_b1());
+  sim_options opts;
+  opts.record_trace = true;
+  opts.sample_min = 0.1;
+  for (const load::test_load l :
+       {load::test_load::cl_250, load::test_load::ils_alt,
+        load::test_load::ils_r1}) {
+    const load::trace t = load::paper_trace(l);
+    for (auto make : {sequential, round_robin, best_of_n}) {
+      const auto pol_old = make();
+      const auto pol_new = make();
+      const sim_result via_disc = simulate_discrete(d, 2, t, *pol_old, opts);
+      const sim_result via_bank = simulate_discrete(bank, t, *pol_new, opts);
+      EXPECT_EQ(via_bank, via_disc)
+          << pol_old->name() << " on " << load::name(l);
+    }
+  }
+}
+
+TEST(SimulatorDiscrete, HeterogeneousBankLivesLongerThanSmallPair) {
+  // A bigger second battery must not shorten the system lifetime, and the
+  // discrete result must track the continuous one.
+  const load::trace t = load::paper_trace(load::test_load::ils_500);
+  const std::vector<kibam::battery_parameters> same(2, kibam::battery_b1());
+  const std::vector<kibam::battery_parameters> mixed{
+      kibam::battery_b1(), kibam::battery_b2()};
+  const auto p1 = best_of_n();
+  const auto p2 = best_of_n();
+  const double lifetime_same = simulate_discrete(same, t, *p1).lifetime_min;
+  const double lifetime_mixed =
+      simulate_discrete(mixed, t, *p2).lifetime_min;
+  EXPECT_GT(lifetime_mixed, lifetime_same);
+
+  const auto p3 = best_of_n();
+  const double continuous =
+      simulate_continuous(mixed, t, *p3).lifetime_min;
+  EXPECT_NEAR(lifetime_mixed, continuous, 0.02 * continuous);
+}
+
 }  // namespace
 }  // namespace bsched::sched
