@@ -36,6 +36,7 @@ int main() {
 
   text_table table{{"test load", "sequential", "diff %", "round robin",
                     "best-of-two", "diff %", "optimal", "diff %"}};
+  opt::search_stats effort;
   for (std::size_t l = 0; l < loads.size(); ++l) {
     const bench::table5_ref& ref = bench::table5[l];
     const api::run_result* cell = &results[l * policies.size()];
@@ -45,6 +46,9 @@ int main() {
         return 1;
       }
     }
+    effort.nodes += cell[3].search.nodes;
+    effort.memo_hits += cell[3].search.memo_hits;
+    effort.pruned += cell[3].search.pruned;
     const double s = cell[0].sim.lifetime_min;
     const double r = cell[1].sim.lifetime_min;
     const double b = cell[2].sim.lifetime_min;
@@ -68,6 +72,10 @@ int main() {
   std::printf(
       "\nAll forty cells ran as one engine batch; the optimal column is "
       "the exact\nsearch replayed through the registry's fixed-schedule "
-      "policy.\n");
+      "policy\n(%llu nodes, %llu memo hits, %llu pruned across the ten "
+      "loads,\nvia api::run_result::search).\n",
+      static_cast<unsigned long long>(effort.nodes),
+      static_cast<unsigned long long>(effort.memo_hits),
+      static_cast<unsigned long long>(effort.pruned));
   return 0;
 }

@@ -1,6 +1,7 @@
-// Optimal battery scheduling: compute the maximum-lifetime schedule for a
-// test load, compare it with round robin, and verify it by replaying the
-// decision list through the registry's "fixed" policy.
+// Optimal battery scheduling through the scenario engine: compute the
+// maximum-lifetime schedule for a test load, compare it with round robin
+// and the provably worst schedule, then repeat on a mixed-capacity bank —
+// everything, search statistics included, read off api::run_result.
 //
 //   $ ./optimal_search [load-name]
 //   $ ./optimal_search "ILs r1"
@@ -9,10 +10,28 @@
 
 #include "api/engine.hpp"
 #include "api/scenario.hpp"
-#include "kibam/discrete.hpp"
 #include "load/jobs.hpp"
-#include "opt/search.hpp"
-#include "sched/registry.hpp"
+
+namespace {
+
+void print_stats(const bsched::opt::search_stats& s) {
+  std::printf("search: %llu nodes, %llu memo hits, %llu pruned, "
+              "%llu memo entries\n",
+              static_cast<unsigned long long>(s.nodes),
+              static_cast<unsigned long long>(s.memo_hits),
+              static_cast<unsigned long long>(s.pruned),
+              static_cast<unsigned long long>(s.memo_entries));
+}
+
+void print_decisions(const bsched::api::run_result& r) {
+  std::printf("decision sequence (battery per new_job event): ");
+  for (const bsched::sched::decision& d : r.sim.decisions) {
+    std::printf("%zu", d.battery + 1);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace bsched;
@@ -23,48 +42,47 @@ int main(int argc, char** argv) {
     }
   }
 
-  const kibam::discretization disc{kibam::battery_b1()};
-  const load::trace trace = load::paper_trace(which);
   std::printf("searching the optimal 2-battery schedule for %s ...\n",
               load::name(which).c_str());
 
-  const opt::optimal_result best = opt::optimal_schedule(disc, 2, trace);
-  std::printf("optimal lifetime: %.2f min\n", best.lifetime_min);
-  std::printf("search: %llu nodes, %llu memo hits, %llu pruned, "
-              "%llu memo entries\n",
-              static_cast<unsigned long long>(best.stats.nodes),
-              static_cast<unsigned long long>(best.stats.memo_hits),
-              static_cast<unsigned long long>(best.stats.pruned),
-              static_cast<unsigned long long>(best.stats.memo_entries));
-
-  std::printf("decision sequence (battery per new_job event): ");
-  for (const std::size_t b : best.decisions) std::printf("%zu", b + 1);
-  std::printf("\n");
-
-  // Replay through a scenario to double-check the schedule is real: the
-  // decision list round-trips as a "fixed:decisions=..." policy spec.
   const api::engine engine;
   api::scenario scn{.label = {},
                     .batteries = api::bank(2, kibam::battery_b1()),
                     .load = which,
-                    .policy = sched::fixed_spec(best.decisions),
+                    .policy = "opt",
                     .model = api::fidelity::discrete,
                     .steps = {},
                     .sim = {}};
-  const api::run_result replay = engine.run(scn);
-  std::printf("replayed lifetime: %.2f min (must match)\n",
-              replay.sim.lifetime_min);
+  const api::run_result best = engine.run(scn);
+  std::printf("optimal lifetime: %.2f min\n", best.sim.lifetime_min);
+  print_stats(best.search);
+  print_decisions(best);
 
   scn.policy = "round_robin";
   const double rr_lifetime = engine.run(scn).sim.lifetime_min;
   std::printf("round robin:       %.2f min  (optimal is %+.1f%%)\n",
               rr_lifetime,
-              100.0 * (best.lifetime_min - rr_lifetime) / rr_lifetime);
+              100.0 * (best.sim.lifetime_min - rr_lifetime) / rr_lifetime);
 
   // The other end of the spectrum: the provably worst schedule.
   scn.policy = "worst";
   const double worst = engine.run(scn).sim.lifetime_min;
-  std::printf("worst possible:    %.2f min (the sequential discharge)\n",
+  std::printf("worst possible:    %.2f min (the sequential discharge)\n\n",
               worst);
+
+  // The same search on a mixed-capacity bank — since the search runs on
+  // per-battery discretizations, nothing requires the batteries to match.
+  std::printf("and on a heterogeneous 5.5 + 4.0 A*min bank:\n");
+  scn.batteries = {kibam::itsy_battery(5.5), kibam::itsy_battery(4.0)};
+  scn.policy = "best_of_n";
+  const double greedy = engine.run(scn).sim.lifetime_min;
+  scn.policy = "opt";
+  const api::run_result mixed = engine.run(scn);
+  std::printf("greedy best-of-n:  %.2f min\n", greedy);
+  std::printf("optimal lifetime:  %.2f min (%+.1f%%)\n",
+              mixed.sim.lifetime_min,
+              100.0 * (mixed.sim.lifetime_min - greedy) / greedy);
+  print_stats(mixed.search);
+  print_decisions(mixed);
   return 0;
 }

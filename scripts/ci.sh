@@ -1,19 +1,48 @@
 #!/usr/bin/env bash
-# CI entry point: configure with warnings-as-errors, build everything,
-# run the full test suite, and smoke-run one example and one bench.
+# CI entry point with two build flavours:
+#   debug    — Debug build, warnings-as-errors, full test suite;
+#   release  — optimized Release build, full test suite plus smoke runs of the
+#              examples/benches, so optimized-build breakage and gross perf
+#              regressions surface in CI.
+# With no argument both flavours run in sequence.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${BUILD_DIR:-build-ci}"
+BUILD_PREFIX="${BUILD_PREFIX:-build-ci}"
 JOBS="${JOBS:-$(nproc)}"
 
-cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DBSCHED_WERROR=ON
-cmake --build "$BUILD_DIR" -j "$JOBS"
+build_and_test() {
+  local flavour="$1" build_type="$2"
+  local dir="$BUILD_PREFIX-$flavour"
+  cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE="$build_type" -DBSCHED_WERROR=ON
+  cmake --build "$dir" -j "$JOBS"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
 
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+run_debug() {
+  build_and_test debug Debug
+}
 
-# Smoke runs: the scenario-API example must agree across thread counts
-# (exits non-zero on mismatch), and Table 3 must render.
-"$BUILD_DIR/scenario_sweep" 4
-"$BUILD_DIR/bench_table3" > /dev/null
+run_release() {
+  build_and_test release Release
+  local dir="$BUILD_PREFIX-release"
+  # Smoke runs: the scenario-API example must agree across thread counts
+  # (exits non-zero on mismatch), Table 3 must render, and the
+  # microbenchmarks must run (quick settings — this guards against crashes
+  # and lets gross regressions show up in the CI log, not a perf gate).
+  "$dir/scenario_sweep" 4
+  "$dir/bench_table3" > /dev/null
+  if [ -x "$dir/bench_micro" ]; then
+    "$dir/bench_micro" --benchmark_min_time=0.01
+  else
+    echo "ci: bench_micro not built (google-benchmark missing); skipped"
+  fi
+}
+
+case "${1:-all}" in
+  debug)   run_debug ;;
+  release) run_release ;;
+  all)     run_debug; run_release ;;
+  *) echo "usage: $0 [debug|release|all]" >&2; exit 2 ;;
+esac
 echo "ci: OK"

@@ -2,100 +2,99 @@
 
 #include <algorithm>
 #include <atomic>
+#include <optional>
 #include <thread>
 
+#include "kibam/bank.hpp"
 #include "opt/lookahead.hpp"
 #include "util/error.hpp"
 #include "util/spec.hpp"
 
 namespace bsched::api {
 
-namespace {
-
-/// The search-derived policies need one discretization for the whole bank
-/// — and they must replay on the same (discrete) model they were computed
-/// on: the continuous simulator's hand-overs fall at different instants,
-/// so a discrete decision list would silently degrade to its best-of-n
-/// fallback (or pick a dead battery) mid-replay.
-kibam::discretization identical_bank_disc(const scenario& scn,
-                                          const std::string& policy) {
-  require(scn.model == fidelity::discrete,
-          "engine: policy '" + policy +
-              "' is computed on the discrete grid and requires discrete "
-              "fidelity");
-  const bool identical = std::all_of(
-      scn.batteries.begin(), scn.batteries.end(),
-      [&](const kibam::battery_parameters& p) {
-        return p == scn.batteries.front();
-      });
-  require(identical, "engine: policy '" + policy +
-                         "' requires an identical battery bank");
-  return kibam::discretization{scn.batteries.front(), scn.steps};
-}
-
-}  // namespace
-
 std::unique_ptr<sched::policy> engine::resolve_policy(
-    const scenario& scn, const load::trace& trace,
-    std::string* display_name) const {
+    const scenario& scn, const load::trace& trace, run_result* out,
+    const kibam::bank* bank) const {
   require(!scn.batteries.empty(), "engine: scenario needs >= 1 battery");
   const auto resolved = [&](std::unique_ptr<sched::policy> pol,
                             const std::string& display) {
-    if (display_name != nullptr) *display_name = display;
+    if (out != nullptr) out->policy_name = display;
     return pol;
+  };
+  // The search-derived policies must replay on the same (discrete) model
+  // they were computed on: the continuous simulator's hand-overs fall at
+  // different instants, so a discrete decision list would silently degrade
+  // to its best-of-n fallback (or pick a dead battery) mid-replay. Banks
+  // may be heterogeneous — the search runs on the scenario's own bank,
+  // shared with the replay when the caller (engine::run) passes it in.
+  std::optional<kibam::bank> owned;
+  const auto search_bank = [&](const std::string& policy)
+      -> const kibam::bank& {
+    require(scn.model == fidelity::discrete,
+            "engine: policy '" + policy +
+                "' is computed on the discrete grid and requires discrete "
+                "fidelity");
+    if (bank != nullptr) return *bank;
+    if (!owned) owned.emplace(scn.batteries, scn.steps);
+    return *owned;
   };
   const spec s = parse_spec(scn.policy);
   // Registry entries win over the engine-level names, so a custom
   // registration of e.g. "opt" is honoured rather than shadowed.
   if (opts_.policies.contains(s.name)) {
-    auto pol = opts_.policies.make(scn.policy);
+    auto pol = opts_.policies.make(s);
     const std::string display = pol->name();
     return resolved(std::move(pol), display);
   }
   if (s.name == "opt" || s.name == "worst") {
     s.require_only({});
-    const kibam::discretization disc = identical_bank_disc(scn, s.name);
+    const kibam::bank& b = search_bank(s.name);
     const opt::optimal_result sched =
-        s.name == "opt"
-            ? opt::optimal_schedule(disc, scn.batteries.size(), trace,
-                                    opts_.search)
-            : opt::worst_schedule(disc, scn.batteries.size(), trace,
-                                  opts_.search);
+        s.name == "opt" ? opt::optimal_schedule(b, trace, opts_.search)
+                        : opt::worst_schedule(b, trace, opts_.search);
+    if (out != nullptr) out->search = sched.stats;
     return resolved(opts_.policies.make(sched::fixed_spec(sched.decisions)),
                     s.name);
   }
   if (s.name == "lookahead") {
     s.require_only({"horizon"});
-    const kibam::discretization disc = identical_bank_disc(scn, s.name);
-    const opt::lookahead_result sched = opt::lookahead_schedule(
-        disc, scn.batteries.size(), trace, s.get_u64("horizon", 4));
+    const kibam::bank& b = search_bank(s.name);
+    const opt::lookahead_result sched =
+        opt::lookahead_schedule(b, trace, s.get_u64("horizon", 4));
+    if (out != nullptr) out->search = sched.stats;
     return resolved(opts_.policies.make(sched::fixed_spec(sched.decisions)),
                     s.name);
   }
   // Surfaces the registry's unknown-name error.
-  return resolved(opts_.policies.make(scn.policy), s.name);
+  return resolved(opts_.policies.make(s), s.name);
 }
 
 std::unique_ptr<sched::policy> engine::resolve_policy(
     const scenario& scn) const {
-  return resolve_policy(scn, scn.load.materialize(), nullptr);
+  return resolve_policy(scn, scn.load.materialize(), nullptr, nullptr);
 }
 
 run_result engine::run(const scenario& scn) const {
   require(!scn.batteries.empty(), "engine: scenario needs >= 1 battery");
   const load::trace trace = scn.load.materialize();
   run_result out;
-  const std::unique_ptr<sched::policy> pol =
-      resolve_policy(scn, trace, &out.policy_name);
   switch (scn.model) {
-    case fidelity::discrete:
-      out.sim = sched::simulate_discrete(scn.batteries, trace, *pol,
-                                         scn.sim, scn.steps);
+    case fidelity::discrete: {
+      // One bank for the scenario: the search (if any) and the replay
+      // advance the same per-battery discretizations.
+      const kibam::bank bank{scn.batteries, scn.steps};
+      const std::unique_ptr<sched::policy> pol =
+          resolve_policy(scn, trace, &out, &bank);
+      out.sim = sched::simulate_discrete(bank, trace, *pol, scn.sim);
       break;
-    case fidelity::continuous:
+    }
+    case fidelity::continuous: {
+      const std::unique_ptr<sched::policy> pol =
+          resolve_policy(scn, trace, &out, nullptr);
       out.sim = sched::simulate_continuous(scn.batteries, trace, *pol,
                                            scn.sim);
       break;
+    }
   }
   return out;
 }
@@ -114,9 +113,11 @@ std::vector<run_result> engine::run_batch(std::span<const scenario> scenarios,
       try {
         out[i] = run(scenarios[i]);
       } catch (const std::exception& e) {
-        out[i] = {.sim = {}, .policy_name = {}, .error = e.what()};
+        out[i] = run_result{};
+        out[i].error = e.what();
       } catch (...) {
-        out[i] = {.sim = {}, .policy_name = {}, .error = "unknown error"};
+        out[i] = run_result{};
+        out[i].error = "unknown error";
       }
     }
   };

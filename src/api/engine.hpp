@@ -7,11 +7,12 @@
 //   "opt"                  — the exact maximum-lifetime schedule,
 //   "worst"                — the exact minimum (sequential's twin),
 //   "lookahead:horizon=N"  — the rollout scheduler of opt/lookahead.hpp.
-// All three precompute their decision list on the scenario's discrete
-// grid and replay it through a registry-built "fixed:decisions=..."
-// policy; they require discrete fidelity and an identical bank (a
-// discrete schedule replayed continuously would silently diverge at
-// hand-overs).
+// All three run on the scenario's kibam::bank — heterogeneous banks
+// included — precompute their decision list on the discrete grid and
+// replay it through a registry-built "fixed:decisions=..." policy; they
+// require discrete fidelity (a discrete schedule replayed continuously
+// would silently diverge at hand-overs). Their search statistics are
+// reported in run_result::search.
 //
 // `run_batch` evaluates scenarios on `n_threads` workers. Scenarios are
 // self-contained (per-scenario RNG seeding, no shared state), so batch
@@ -25,6 +26,7 @@
 #include <vector>
 
 #include "api/scenario.hpp"
+#include "kibam/bank.hpp"
 #include "opt/search.hpp"
 #include "sched/registry.hpp"
 #include "sched/simulator.hpp"
@@ -38,6 +40,10 @@ struct run_result {
   /// engine-derived schedules, the requested name ("opt", "worst",
   /// "lookahead") rather than the "fixed schedule" replay vehicle.
   std::string policy_name;
+  /// Statistics of the search (nodes, memo hits, pruned, memo entries) or
+  /// rollout (rollouts) behind an engine-derived schedule; all-zero for
+  /// plain registry policies.
+  opt::search_stats search;
   /// Empty on success. `engine::run` throws instead; `run_batch` captures
   /// per-scenario failures here so one bad scenario cannot sink a sweep.
   std::string error;
@@ -81,11 +87,13 @@ class engine {
   [[nodiscard]] std::vector<std::string> policy_names() const;
 
  private:
-  /// `display_name` (optional) receives the name to report in
-  /// run_result::policy_name.
+  /// `out` (optional) receives the display name (run_result::policy_name)
+  /// and, for the search-derived policies, the search statistics. `bank`
+  /// (optional) is the caller's already-built bank for the scenario, so
+  /// search and replay share one; built on demand when null.
   [[nodiscard]] std::unique_ptr<sched::policy> resolve_policy(
-      const scenario& scn, const load::trace& trace,
-      std::string* display_name) const;
+      const scenario& scn, const load::trace& trace, run_result* out,
+      const kibam::bank* bank) const;
 
   engine_options opts_;
 };

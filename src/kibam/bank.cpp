@@ -1,0 +1,40 @@
+#include "kibam/bank.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace bsched::kibam {
+
+bank::bank(const std::vector<battery_parameters>& batteries,
+           const load::step_sizes& steps) {
+  require(!batteries.empty(), "bank: need at least one battery");
+  type_of_.reserve(batteries.size());
+  for (const auto& p : batteries) {
+    std::size_t t = 0;
+    while (t < discs_.size() && !(discs_[t].params() == p)) ++t;
+    if (t == discs_.size()) discs_.emplace_back(p, steps);
+    type_of_.push_back(t);
+  }
+}
+
+bank::bank(discretization disc, std::size_t count)
+    : type_of_(count, 0) {
+  require(count >= 1, "bank: need at least one battery");
+  discs_.push_back(std::move(disc));
+}
+
+std::vector<discrete_state> bank::full_states() const {
+  std::vector<discrete_state> out;
+  out.reserve(size());
+  for (const std::size_t t : type_of_) out.push_back(full_discrete(discs_[t]));
+  return out;
+}
+
+std::int64_t bank::total_units() const {
+  std::int64_t sum = 0;
+  for (const std::size_t t : type_of_) sum += discs_[t].total_units();
+  return sum;
+}
+
+}  // namespace bsched::kibam

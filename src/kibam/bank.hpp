@@ -1,0 +1,75 @@
+// A battery bank on one shared discrete grid.
+//
+// The multi-battery simulator, the exact search and the rollout scheduler
+// all advance the same thing: a vector of per-battery dKiBaM states, each
+// stepped on its own battery type's discretization over a common
+// (T, Gamma) grid. This class is that shared representation: the
+// deduplicated per-type discretizations (identical parameters share one
+// precomputed recovery table) plus the battery -> type map. Banks may be
+// heterogeneous in capacity and KiBaM parameters; the grid is common, so
+// charge units are additive across batteries (the drain bound relies on
+// this) and available-charge permille values are comparable between types.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kibam/discrete.hpp"
+#include "kibam/parameters.hpp"
+#include "load/discretize.hpp"
+
+namespace bsched::kibam {
+
+class bank {
+ public:
+  /// One battery per entry of `batteries`, all discretized on `steps`.
+  explicit bank(const std::vector<battery_parameters>& batteries,
+                const load::step_sizes& steps = {});
+
+  /// `count` identical batteries over an existing discretization (the
+  /// paper's Tables 3-5 setup).
+  bank(discretization disc, std::size_t count);
+
+  [[nodiscard]] std::size_t size() const noexcept { return type_of_.size(); }
+
+  /// Distinct battery types (deduplicated parameter sets).
+  [[nodiscard]] std::size_t type_count() const noexcept {
+    return discs_.size();
+  }
+  [[nodiscard]] bool homogeneous() const noexcept {
+    return discs_.size() == 1;
+  }
+
+  /// Type index of battery `b` (two batteries are interchangeable for
+  /// scheduling purposes iff they share a type and a state).
+  [[nodiscard]] std::size_t type_of(std::size_t b) const {
+    return type_of_[b];
+  }
+
+  /// The discretization stepping battery `b`.
+  [[nodiscard]] const discretization& disc(std::size_t b) const {
+    return discs_[type_of_[b]];
+  }
+
+  /// The discretization of type `t`.
+  [[nodiscard]] const discretization& type_disc(std::size_t t) const {
+    return discs_[t];
+  }
+
+  /// The common grid every battery is stepped on.
+  [[nodiscard]] const load::step_sizes& steps() const noexcept {
+    return discs_.front().steps();
+  }
+
+  /// A freshly charged state per battery.
+  [[nodiscard]] std::vector<discrete_state> full_states() const;
+
+  /// Total capacity of the bank in charge units (sum of per-battery N).
+  [[nodiscard]] std::int64_t total_units() const;
+
+ private:
+  std::vector<discretization> discs_;  ///< One per battery type.
+  std::vector<std::size_t> type_of_;   ///< Battery -> entry in discs_.
+};
+
+}  // namespace bsched::kibam

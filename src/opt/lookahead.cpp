@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <optional>
+#include <tuple>
 
 #include "util/error.hpp"
 
@@ -10,25 +11,28 @@ namespace bsched::opt {
 
 namespace {
 
-using bank = std::vector<kibam::discrete_state>;
+using bats_t = std::vector<kibam::discrete_state>;
 
 std::int64_t epoch_steps(const load::epoch& e, const load::step_sizes& s) {
   return std::llround(e.duration_min / s.time_step_min);
 }
 
-bool all_empty(const bank& bats) {
+bool all_empty(const bats_t& bats) {
   return std::ranges::all_of(bats, [](const auto& b) { return b.empty; });
 }
 
 /// Greedy tie-broken choice: the alive battery with the most available
-/// charge (the best-of-N rule the rollout tail uses).
-std::optional<std::size_t> greedy_choice(const kibam::discretization& disc,
-                                         const bank& bats) {
+/// charge (the best-of-N rule the rollout tail uses). Permille values are
+/// comparable across types because the bank shares one charge unit.
+std::optional<std::size_t> greedy_choice(const kibam::bank& bank,
+                                         const bats_t& bats) {
   std::optional<std::size_t> best;
   for (std::size_t i = 0; i < bats.size(); ++i) {
     if (bats[i].empty) continue;
-    if (!best || disc.available_permille(bats[i].n, bats[i].m) >
-                     disc.available_permille(bats[*best].n, bats[*best].m)) {
+    if (!best ||
+        bank.disc(i).available_permille(bats[i].n, bats[i].m) >
+            bank.disc(*best).available_permille(bats[*best].n,
+                                                bats[*best].m)) {
       best = i;
     }
   }
@@ -42,11 +46,11 @@ struct segment_outcome {
   bool died = false;
 };
 
-segment_outcome run_job(const kibam::discretization& disc, bank& bats,
+segment_outcome run_job(const kibam::bank& bank, bats_t& bats,
                         const load::epoch& e, std::size_t active,
                         std::vector<std::size_t>* handovers = nullptr) {
-  const load::draw_rate rate = load::rate_for(e.current_a, disc.steps());
-  const std::int64_t total = epoch_steps(e, disc.steps());
+  const load::draw_rate rate = load::rate_for(e.current_a, bank.steps());
+  const std::int64_t total = epoch_steps(e, bank.steps());
   bats[active].discharge_elapsed = 0;
   segment_outcome out;
   for (std::int64_t i = 0; i < total; ++i) {
@@ -54,11 +58,11 @@ segment_outcome run_job(const kibam::discretization& disc, bank& bats,
     kibam::step_event ev = kibam::step_event::none;
     for (std::size_t b = 0; b < bats.size(); ++b) {
       const auto e_b = kibam::step(
-          disc, bats[b], b == active ? rate : load::draw_rate{0, 0});
+          bank.disc(b), bats[b], b == active ? rate : load::draw_rate{0, 0});
       if (b == active) ev = e_b;
     }
     if (ev == kibam::step_event::died) {
-      const auto next = greedy_choice(disc, bats);
+      const auto next = greedy_choice(bank, bats);
       if (!next) {
         out.died = true;
         return out;
@@ -71,10 +75,11 @@ segment_outcome run_job(const kibam::discretization& disc, bank& bats,
   return out;
 }
 
-void run_idle(const kibam::discretization& disc, bank& bats,
-              std::int64_t steps) {
+void run_idle(const kibam::bank& bank, bats_t& bats, std::int64_t steps) {
   for (std::int64_t i = 0; i < steps; ++i) {
-    for (auto& b : bats) kibam::step(disc, b, {0, 0});
+    for (std::size_t b = 0; b < bats.size(); ++b) {
+      kibam::step(bank.disc(b), bats[b], {0, 0});
+    }
   }
 }
 
@@ -97,7 +102,7 @@ struct rollout_score {
   }
 };
 
-rollout_score rollout(const kibam::discretization& disc, bank bats,
+rollout_score rollout(const kibam::bank& bank, bats_t bats,
                       const load::trace& load, std::size_t epoch,
                       std::size_t candidate, std::size_t horizon) {
   rollout_score score;
@@ -106,15 +111,15 @@ rollout_score rollout(const kibam::discretization& disc, bank bats,
   while (true) {
     const load::epoch& e = load.at(epoch);
     if (e.current_a <= 0) {
-      const std::int64_t steps = epoch_steps(e, disc.steps());
-      run_idle(disc, bats, steps);
+      const std::int64_t steps = epoch_steps(e, bank.steps());
+      run_idle(bank, bats, steps);
       score.steps += steps;
       ++epoch;
       continue;
     }
-    if (!choice) choice = greedy_choice(disc, bats);
+    if (!choice) choice = greedy_choice(bank, bats);
     BSCHED_ASSERT(choice.has_value());
-    const segment_outcome seg = run_job(disc, bats, e, *choice);
+    const segment_outcome seg = run_job(bank, bats, e, *choice);
     score.steps += seg.steps;
     if (seg.died) {
       score.died = true;
@@ -126,9 +131,10 @@ rollout_score rollout(const kibam::discretization& disc, bank bats,
     if (jobs_done > horizon) break;
   }
   bool first = true;
-  for (const auto& b : bats) {
-    if (b.empty) continue;
-    const std::int64_t avail = disc.available_permille(b.n, b.m);
+  for (std::size_t b = 0; b < bats.size(); ++b) {
+    if (bats[b].empty) continue;
+    const std::int64_t avail =
+        bank.disc(b).available_permille(bats[b].n, bats[b].m);
     score.health = first ? avail : std::min(score.health, avail);
     first = false;
   }
@@ -137,37 +143,42 @@ rollout_score rollout(const kibam::discretization& disc, bank bats,
 
 }  // namespace
 
-lookahead_result lookahead_schedule(const kibam::discretization& disc,
-                                    std::size_t battery_count,
+lookahead_result lookahead_schedule(const kibam::bank& bank,
                                     const load::trace& load,
                                     std::size_t horizon_jobs) {
-  require(battery_count >= 1, "lookahead: need at least one battery");
   lookahead_result out;
-  bank bats(battery_count, kibam::full_discrete(disc));
+  bats_t bats = bank.full_states();
   std::size_t epoch = 0;
   std::int64_t steps = 0;
 
   while (true) {
     const load::epoch& e = load.at(epoch);
     if (e.current_a <= 0) {
-      const std::int64_t len = epoch_steps(e, disc.steps());
-      run_idle(disc, bats, len);
+      const std::int64_t len = epoch_steps(e, bank.steps());
+      run_idle(bank, bats, len);
       steps += len;
       ++epoch;
       continue;
     }
-    // Score every distinct alive candidate by rollout.
+    // Score every distinct alive candidate by rollout. Candidates are
+    // interchangeable when they agree on type, charge counters and the
+    // recovery timer (whose pending tick can flip which twin survives
+    // longer); the discharge clock is reset on activation, so it is
+    // excluded — same notion of interchangeability as the exact search.
     std::optional<std::size_t> best;
     rollout_score best_score;
-    std::vector<std::pair<std::int64_t, std::int64_t>> tried;
+    using sig_t =
+        std::tuple<std::size_t, std::int64_t, std::int64_t, std::int64_t>;
+    std::vector<sig_t> tried;
     for (std::size_t c = 0; c < bats.size(); ++c) {
       if (bats[c].empty) continue;
-      const std::pair<std::int64_t, std::int64_t> sig{bats[c].n, bats[c].m};
+      const sig_t sig{bank.type_of(c), bats[c].n, bats[c].m,
+                      bats[c].recovery_elapsed};
       if (std::ranges::find(tried, sig) != tried.end()) continue;
       tried.push_back(sig);
       const rollout_score score =
-          rollout(disc, bats, load, epoch, c, horizon_jobs);
-      ++out.rollouts;
+          rollout(bank, bats, load, epoch, c, horizon_jobs);
+      ++out.stats.rollouts;
       if (!best || score.better_than(best_score)) {
         best = c;
         best_score = score;
@@ -176,17 +187,25 @@ lookahead_result lookahead_schedule(const kibam::discretization& disc,
     BSCHED_ASSERT(best.has_value());
     out.decisions.push_back(*best);
     const segment_outcome seg =
-        run_job(disc, bats, e, *best, &out.decisions);
+        run_job(bank, bats, e, *best, &out.decisions);
     steps += seg.steps;
     if (seg.died && all_empty(bats)) {
       out.lifetime_min =
-          static_cast<double>(steps) * disc.steps().time_step_min;
+          static_cast<double>(steps) * bank.steps().time_step_min;
       return out;
     }
     ++epoch;
     require(steps < (std::int64_t{1} << 40),
             "lookahead: system never exhausts the batteries");
   }
+}
+
+lookahead_result lookahead_schedule(const kibam::discretization& disc,
+                                    std::size_t battery_count,
+                                    const load::trace& load,
+                                    std::size_t horizon_jobs) {
+  return lookahead_schedule(kibam::bank{disc, battery_count}, load,
+                            horizon_jobs);
 }
 
 }  // namespace bsched::opt

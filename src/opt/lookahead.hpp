@@ -9,25 +9,35 @@
 // the greedy rule, and commits to the choice whose rollout survives
 // longest. horizon 0 degenerates to greedy; growing horizons approach the
 // optimum at linear (not exponential) cost.
+//
+// Like the exact search, the rollout runs on a kibam::bank, so mixed
+// capacities and parameters are fine as long as they share one grid.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "kibam/bank.hpp"
 #include "kibam/discrete.hpp"
 #include "load/trace.hpp"
+#include "opt/search.hpp"
 
 namespace bsched::opt {
 
 struct lookahead_result {
   double lifetime_min = 0;
   std::vector<std::size_t> decisions;  ///< Battery per new_job event.
-  std::uint64_t rollouts = 0;          ///< Simulated candidate futures.
+  search_stats stats;                  ///< Only `rollouts` is populated.
 };
 
-/// Runs the rollout scheduler for `battery_count` identical batteries.
+/// Runs the rollout scheduler over the (possibly heterogeneous) bank.
 /// `horizon_jobs` is the number of *additional* jobs simulated beyond the
 /// one being scheduled.
+[[nodiscard]] lookahead_result lookahead_schedule(const kibam::bank& bank,
+                                                  const load::trace& load,
+                                                  std::size_t horizon_jobs);
+
+/// Homogeneous convenience: `battery_count` identical batteries.
 [[nodiscard]] lookahead_result lookahead_schedule(
     const kibam::discretization& disc, std::size_t battery_count,
     const load::trace& load, std::size_t horizon_jobs);

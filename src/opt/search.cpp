@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <unordered_map>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -15,6 +16,9 @@ constexpr std::int64_t k_inf = std::numeric_limits<std::int64_t>::max() / 4;
 
 /// Packs a battery state into one word for hashing/sorting. Nodes always
 /// have discharge_elapsed == 0, so three counters and the empty bit suffice.
+/// The word does not encode the battery type: memo keys keep same-type
+/// batteries in contiguous groups, and candidate signatures carry the type
+/// alongside.
 std::uint64_t pack(const kibam::discrete_state& b) {
   BSCHED_ASSERT(b.n >= 0 && b.n < (1 << 21));
   BSCHED_ASSERT(b.m >= 0 && b.m < (1 << 21));
@@ -24,6 +28,10 @@ std::uint64_t pack(const kibam::discrete_state& b) {
          (static_cast<std::uint64_t>(b.recovery_elapsed) << 1) |
          static_cast<std::uint64_t>(b.empty);
 }
+
+/// A candidate's identity for branch deduplication: batteries are
+/// interchangeable iff they share a type and a packed state.
+using candidate_sig = std::pair<std::size_t, std::uint64_t>;
 
 struct vec_hash {
   std::size_t operator()(const std::vector<std::uint64_t>& v) const noexcept {
@@ -37,27 +45,36 @@ struct vec_hash {
   }
 };
 
-/// Steps in an epoch at the discretization's granularity.
+/// Steps in an epoch at the grid's granularity.
 std::int64_t epoch_steps(const load::epoch& e, const load::step_sizes& s) {
   return std::llround(e.duration_min / s.time_step_min);
 }
 
 class searcher {
  public:
-  searcher(const kibam::discretization& disc, std::size_t count,
-           const load::trace& load, const search_options& opts, bool minimize)
-      : disc_(disc), load_(load), count_(count), opts_(opts),
-        minimize_(minimize) {}
+  searcher(const kibam::bank& bank, const load::trace& load,
+           const search_options& opts, bool minimize)
+      : bank_(bank), load_(load), opts_(opts), minimize_(minimize) {
+    // Battery indices ordered by type: the memo key sorts states within
+    // each contiguous same-type group, so permutations of interchangeable
+    // batteries collapse while distinct types never mix.
+    group_order_.reserve(bank_.size());
+    for (std::size_t t = 0; t < bank_.type_count(); ++t) {
+      group_begin_.push_back(group_order_.size());
+      for (std::size_t b = 0; b < bank_.size(); ++b) {
+        if (bank_.type_of(b) == t) group_order_.push_back(b);
+      }
+    }
+    group_begin_.push_back(group_order_.size());
+  }
 
   optimal_result run() {
-    require(count_ >= 1, "optimal_schedule: need at least one battery");
     const bool cycle_has_job = std::ranges::any_of(
         load_.cycle(), [](const load::epoch& e) { return e.current_a > 0; });
     require(cycle_has_job,
             "optimal_schedule: the load cycle must contain a job");
 
-    std::vector<kibam::discrete_state> bats(count_,
-                                            kibam::full_discrete(disc_));
+    std::vector<kibam::discrete_state> bats = bank_.full_states();
     std::size_t epoch = 0;
     std::int64_t lead_in = 0;
     skip_idle(bats, epoch, lead_in);
@@ -66,7 +83,7 @@ class searcher {
 
     optimal_result out;
     out.lifetime_min =
-        static_cast<double>(lead_in + best) * disc_.steps().time_step_min;
+        static_cast<double>(lead_in + best) * bank_.steps().time_step_min;
     reconstruct(std::move(bats), epoch, out.decisions);
     out.stats = stats_;
     out.stats.memo_entries = memo_.size();
@@ -74,7 +91,7 @@ class searcher {
   }
 
   std::int64_t bound(std::size_t epoch_index, std::int64_t alive_units) const {
-    return drain_bound_steps(disc_, load_, epoch_index, alive_units);
+    return drain_bound_steps(bank_.steps(), load_, epoch_index, alive_units);
   }
 
  private:
@@ -83,9 +100,12 @@ class searcher {
   void skip_idle(std::vector<kibam::discrete_state>& bats, std::size_t& epoch,
                  std::int64_t& consumed) const {
     while (load_.at(epoch).current_a <= 0) {
-      const std::int64_t steps = epoch_steps(load_.at(epoch), disc_.steps());
+      const std::int64_t steps =
+          epoch_steps(load_.at(epoch), bank_.steps());
       for (std::int64_t i = 0; i < steps; ++i) {
-        for (auto& b : bats) kibam::step(disc_, b, {0, 0});
+        for (std::size_t b = 0; b < bats.size(); ++b) {
+          kibam::step(bank_.disc(b), bats[b], {0, 0});
+        }
       }
       consumed += steps;
       ++epoch;
@@ -105,8 +125,13 @@ class searcher {
     std::vector<std::uint64_t> key;
     key.reserve(bats.size() + 1);
     key.push_back(canonical(epoch));
-    for (const auto& b : bats) key.push_back(pack(b));
-    std::sort(key.begin() + 1, key.end());
+    for (std::size_t t = 0; t < bank_.type_count(); ++t) {
+      const auto start = static_cast<std::ptrdiff_t>(key.size());
+      for (std::size_t i = group_begin_[t]; i < group_begin_[t + 1]; ++i) {
+        key.push_back(pack(bats[group_order_[i]]));
+      }
+      std::sort(key.begin() + start, key.end());
+    }
     return key;
   }
 
@@ -127,10 +152,10 @@ class searcher {
             "coarsen the grid");
 
     std::int64_t best = minimize_ ? k_inf : -1;
-    std::vector<std::uint64_t> tried;
+    std::vector<candidate_sig> tried;
     for (std::size_t i = 0; i < bats.size(); ++i) {
       if (bats[i].empty) continue;
-      const std::uint64_t sig = pack(bats[i]);
+      const candidate_sig sig{bank_.type_of(i), pack(bats[i])};
       if (std::ranges::find(tried, sig) != tried.end()) continue;
       tried.push_back(sig);
       auto copy = bats;
@@ -150,8 +175,8 @@ class searcher {
                         std::size_t epoch, std::int64_t offset,
                         std::size_t active, std::int64_t prune_below) {
     const load::epoch& e = load_.at(epoch);
-    const load::draw_rate rate = load::rate_for(e.current_a, disc_.steps());
-    const std::int64_t total = epoch_steps(e, disc_.steps());
+    const load::draw_rate rate = load::rate_for(e.current_a, bank_.steps());
+    const std::int64_t total = epoch_steps(e, bank_.steps());
     bats[active].discharge_elapsed = 0;
 
     std::int64_t local = 0;
@@ -159,8 +184,9 @@ class searcher {
       ++local;
       kibam::step_event ev = kibam::step_event::none;
       for (std::size_t b = 0; b < bats.size(); ++b) {
-        const auto e_b =
-            kibam::step(disc_, bats[b], b == active ? rate : load::draw_rate{0, 0});
+        const auto e_b = kibam::step(bank_.disc(b), bats[b],
+                                     b == active ? rate
+                                                 : load::draw_rate{0, 0});
         if (b == active) ev = e_b;
       }
       if (ev != kibam::step_event::died) continue;
@@ -169,10 +195,10 @@ class searcher {
       if (all_empty) return local;
       // Forced hand-over: branch over the distinct alive batteries.
       std::int64_t best = minimize_ ? k_inf : -1;
-      std::vector<std::uint64_t> tried;
+      std::vector<candidate_sig> tried;
       for (std::size_t b = 0; b < bats.size(); ++b) {
         if (bats[b].empty) continue;
-        const std::uint64_t sig = pack(bats[b]);
+        const candidate_sig sig{bank_.type_of(b), pack(bats[b])};
         if (std::ranges::find(tried, sig) != tried.end()) continue;
         tried.push_back(sig);
         auto copy = bats;
@@ -239,8 +265,8 @@ class searcher {
                     std::size_t epoch, std::int64_t offset, std::size_t active,
                     std::vector<std::size_t>& pending) {
     const load::epoch& e = load_.at(epoch);
-    const load::draw_rate rate = load::rate_for(e.current_a, disc_.steps());
-    const std::int64_t total = epoch_steps(e, disc_.steps());
+    const load::draw_rate rate = load::rate_for(e.current_a, bank_.steps());
+    const std::int64_t total = epoch_steps(e, bank_.steps());
     bats[active].discharge_elapsed = 0;
 
     std::int64_t local = 0;
@@ -248,8 +274,9 @@ class searcher {
       ++local;
       kibam::step_event ev = kibam::step_event::none;
       for (std::size_t b = 0; b < bats.size(); ++b) {
-        const auto e_b =
-            kibam::step(disc_, bats[b], b == active ? rate : load::draw_rate{0, 0});
+        const auto e_b = kibam::step(bank_.disc(b), bats[b],
+                                     b == active ? rate
+                                                 : load::draw_rate{0, 0});
         if (b == active) ev = e_b;
       }
       if (ev != kibam::step_event::died) continue;
@@ -283,55 +310,69 @@ class searcher {
     return {consumed + tail, false, next};
   }
 
-  const kibam::discretization& disc_;
+  const kibam::bank& bank_;
   const load::trace& load_;
-  std::size_t count_;
   search_options opts_;
   bool minimize_;
+  std::vector<std::size_t> group_order_;  ///< Battery indices, grouped by type.
+  std::vector<std::size_t> group_begin_;  ///< Group offsets into group_order_.
   std::unordered_map<std::vector<std::uint64_t>, std::int64_t, vec_hash> memo_;
   search_stats stats_;
 };
 
 }  // namespace
 
-std::int64_t drain_bound_steps(const kibam::discretization& disc,
+std::int64_t drain_bound_steps(const load::step_sizes& steps,
                                const load::trace& load,
                                std::size_t epoch_index,
                                std::int64_t alive_units) {
   require(alive_units >= 0, "drain_bound_steps: negative charge");
   if (alive_units == 0) return 0;
-  std::int64_t steps = 0;
+  std::int64_t total_steps = 0;
   std::int64_t remaining = alive_units;
   std::size_t idx = epoch_index;
   // The cycle always drains charge, so this loop terminates; the guard is a
   // hard cap against degenerate almost-idle loads.
   for (std::size_t guard = 0; guard < 100'000'000; ++guard, ++idx) {
     const load::epoch& e = load.at(idx);
-    const std::int64_t len = epoch_steps(e, disc.steps());
+    const std::int64_t len = epoch_steps(e, steps);
     if (e.current_a <= 0) {
-      steps += len;
+      total_steps += len;
       continue;
     }
-    const load::draw_rate rate = load::rate_for(e.current_a, disc.steps());
+    const load::draw_rate rate = load::rate_for(e.current_a, steps);
     const std::int64_t draws = len / rate.steps;
     const std::int64_t drawable = draws * rate.units;
     if (drawable < remaining) {
       remaining -= drawable;
-      steps += len;
+      total_steps += len;
       continue;
     }
     const std::int64_t needed_draws =
         (remaining + rate.units - 1) / rate.units;
-    return steps + needed_draws * rate.steps;
+    return total_steps + needed_draws * rate.steps;
   }
   throw error("drain_bound_steps: load drains too slowly to bound");
+}
+
+optimal_result optimal_schedule(const kibam::bank& bank,
+                                const load::trace& load,
+                                const search_options& opts) {
+  searcher s{bank, load, opts, /*minimize=*/false};
+  return s.run();
 }
 
 optimal_result optimal_schedule(const kibam::discretization& disc,
                                 std::size_t battery_count,
                                 const load::trace& load,
                                 const search_options& opts) {
-  searcher s{disc, battery_count, load, opts, /*minimize=*/false};
+  return optimal_schedule(kibam::bank{disc, battery_count}, load, opts);
+}
+
+optimal_result worst_schedule(const kibam::bank& bank,
+                              const load::trace& load,
+                              const search_options& opts) {
+  searcher s{bank, load, opts, /*minimize=*/true};
   return s.run();
 }
 
@@ -339,8 +380,7 @@ optimal_result worst_schedule(const kibam::discretization& disc,
                               std::size_t battery_count,
                               const load::trace& load,
                               const search_options& opts) {
-  searcher s{disc, battery_count, load, opts, /*minimize=*/true};
-  return s.run();
+  return worst_schedule(kibam::bank{disc, battery_count}, load, opts);
 }
 
 }  // namespace bsched::opt

@@ -7,21 +7,25 @@
 // epoch, a branch is the choice of battery (plus forced hand-over choices
 // when the active battery is observed empty mid-job).
 //
-// The search is exact:
-//  * memoisation on (position in the cyclic load, sorted battery states)
-//    merges permutations of identical batteries (symmetry reduction);
+// The search runs on a kibam::bank — the same per-battery-discretization
+// representation the simulator advances — so banks may mix capacities and
+// KiBaM parameters. The search is exact:
+//  * memoisation on (position in the cyclic load, battery states sorted
+//    within groups of identical battery types) merges permutations of
+//    interchangeable batteries (symmetry reduction); for a homogeneous
+//    bank this is the full sorted-state reduction;
 //  * an admissible drain bound (system death no later than the time at
-//    which the load has drawn every remaining charge unit) prunes children
-//    that provably cannot beat the best sibling; pruned children are never
-//    stored, so memoised values stay exact.
+//    which the load has drawn every charge unit remaining across the
+//    bank) prunes children that provably cannot beat the best sibling;
+//    pruned children are never stored, so memoised values stay exact.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "kibam/bank.hpp"
 #include "kibam/discrete.hpp"
 #include "load/trace.hpp"
-#include "sched/simulator.hpp"
 
 namespace bsched::opt {
 
@@ -30,11 +34,16 @@ struct search_options {
   std::uint64_t max_nodes = 200'000'000;  ///< Safety valve; throws beyond.
 };
 
+/// Statistics of one search or rollout run; surfaced unchanged through
+/// api::run_result so clients never need to call into opt:: for them.
 struct search_stats {
   std::uint64_t nodes = 0;      ///< Decision nodes expanded.
   std::uint64_t memo_hits = 0;
   std::uint64_t pruned = 0;     ///< Children skipped by the drain bound.
   std::uint64_t memo_entries = 0;
+  std::uint64_t rollouts = 0;   ///< Candidate futures simulated (lookahead).
+
+  friend bool operator==(const search_stats&, const search_stats&) = default;
 };
 
 struct optimal_result {
@@ -45,22 +54,33 @@ struct optimal_result {
   search_stats stats;
 };
 
-/// Maximum-lifetime schedule for `battery_count` identical batteries under
+/// Maximum-lifetime schedule for the (possibly heterogeneous) bank under
 /// `load`. Throws when `max_nodes` is exceeded.
+[[nodiscard]] optimal_result optimal_schedule(
+    const kibam::bank& bank, const load::trace& load,
+    const search_options& opts = {});
+
+/// Homogeneous convenience: `battery_count` identical batteries.
 [[nodiscard]] optimal_result optimal_schedule(
     const kibam::discretization& disc, std::size_t battery_count,
     const load::trace& load, const search_options& opts = {});
 
 /// Admissible upper bound (in time steps) on the remaining system lifetime
 /// from the start of epoch `epoch_index`, given `alive_units` total charge
-/// units across non-empty batteries. Exposed for property tests.
-[[nodiscard]] std::int64_t drain_bound_steps(const kibam::discretization& disc,
+/// units across non-empty batteries (unit-additive because the bank shares
+/// one grid). Exposed for property tests.
+[[nodiscard]] std::int64_t drain_bound_steps(const load::step_sizes& steps,
                                              const load::trace& load,
                                              std::size_t epoch_index,
                                              std::int64_t alive_units);
 
 /// Minimum-lifetime schedule (same search, minimising): used to verify the
 /// paper's claim that sequential discharge is the worst possible schedule.
+[[nodiscard]] optimal_result worst_schedule(const kibam::bank& bank,
+                                            const load::trace& load,
+                                            const search_options& opts = {});
+
+/// Homogeneous convenience: `battery_count` identical batteries.
 [[nodiscard]] optimal_result worst_schedule(const kibam::discretization& disc,
                                             std::size_t battery_count,
                                             const load::trace& load,

@@ -38,7 +38,10 @@ bool registry::contains(const std::string& name) const {
 }
 
 std::unique_ptr<policy> registry::make(const std::string& spec_text) const {
-  const spec s = parse_spec(spec_text);
+  return make(parse_spec(spec_text));
+}
+
+std::unique_ptr<policy> registry::make(const spec& s) const {
   const auto it = factories_.find(s.name);
   if (it == factories_.end()) {
     std::string known;

@@ -36,6 +36,10 @@ class registry {
   [[nodiscard]] std::unique_ptr<policy> make(
       const std::string& spec_text) const;
 
+  /// Constructs a policy from an already-parsed spec, so callers that have
+  /// parsed the string (e.g. api::engine) don't parse it twice.
+  [[nodiscard]] std::unique_ptr<policy> make(const spec& s) const;
+
   /// All registered names, sorted.
   [[nodiscard]] std::vector<std::string> names() const;
 

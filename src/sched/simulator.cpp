@@ -89,23 +89,19 @@ sim_result run_simulation(Model& model, const load::trace& load, policy& pol,
 
 /// dKiBaM backend: integer stepping on a shared (T, Gamma) grid. Banks may
 /// be heterogeneous; batteries of the same type share one discretization
-/// (and its precomputed recovery table) through `idx_`.
+/// (and its precomputed recovery table) through the kibam::bank — the same
+/// representation the exact search and the rollout scheduler advance.
 class discrete_model {
  public:
   static constexpr const char* kName = "simulate_discrete";
 
-  discrete_model(std::vector<kibam::discretization> discs,
-                 std::vector<std::size_t> idx, const sim_options& opts)
-      : discs_(std::move(discs)), idx_(std::move(idx)), opts_(opts) {
-    require(!idx_.empty(), "simulate: need at least one battery");
-    t_step_ = discs_.front().steps().time_step_min;
-    unit_ = discs_.front().steps().charge_unit_amin;
+  discrete_model(kibam::bank bank, const sim_options& opts)
+      : bank_(std::move(bank)), opts_(opts) {
+    t_step_ = bank_.steps().time_step_min;
+    unit_ = bank_.steps().charge_unit_amin;
     sample_period_ =
         std::max<std::int64_t>(1, std::llround(opts_.sample_min / t_step_));
-    bats_.reserve(idx_.size());
-    for (const std::size_t i : idx_) {
-      bats_.push_back(kibam::full_discrete(discs_[i]));
-    }
+    bats_ = bank_.full_states();
   }
 
   void bind(sim_result& res) { res_ = &res; }
@@ -142,7 +138,7 @@ class discrete_model {
   }
 
   void begin_epoch(const load::epoch& e) {
-    rate_ = load::rate_for(e.current_a, discs_.front().steps());
+    rate_ = load::rate_for(e.current_a, bank_.steps());
     remaining_ = epoch_steps(e);
   }
 
@@ -189,7 +185,7 @@ class discrete_model {
 
  private:
   [[nodiscard]] const kibam::discretization& disc_of(std::size_t b) const {
-    return discs_[idx_[b]];
+    return bank_.disc(b);
   }
 
   [[nodiscard]] std::int64_t epoch_steps(const load::epoch& e) const {
@@ -211,8 +207,7 @@ class discrete_model {
     res_->trace.push_back(std::move(pt));
   }
 
-  std::vector<kibam::discretization> discs_;
-  std::vector<std::size_t> idx_;  ///< Battery -> entry in discs_.
+  kibam::bank bank_;
   sim_options opts_;
   std::vector<kibam::discrete_state> bats_;
   sim_result* res_ = nullptr;
@@ -352,19 +347,13 @@ sim_result simulate_discrete(
     const std::vector<kibam::battery_parameters>& batteries,
     const load::trace& load, policy& pol, const sim_options& opts,
     const load::step_sizes& steps) {
-  require(!batteries.empty(), "simulate: need at least one battery");
-  // One discretization per battery *type*: identical parameters share the
-  // precomputed recovery table.
-  std::vector<kibam::discretization> discs;
-  std::vector<std::size_t> idx;
-  idx.reserve(batteries.size());
-  for (const auto& p : batteries) {
-    std::size_t i = 0;
-    while (i < discs.size() && !(discs[i].params() == p)) ++i;
-    if (i == discs.size()) discs.emplace_back(p, steps);
-    idx.push_back(i);
-  }
-  discrete_model model{std::move(discs), std::move(idx), opts};
+  discrete_model model{kibam::bank{batteries, steps}, opts};
+  return run_simulation(model, load, pol, opts);
+}
+
+sim_result simulate_discrete(const kibam::bank& bank, const load::trace& load,
+                             policy& pol, const sim_options& opts) {
+  discrete_model model{bank, opts};
   return run_simulation(model, load, pol, opts);
 }
 
@@ -372,9 +361,7 @@ sim_result simulate_discrete(const kibam::discretization& disc,
                              std::size_t battery_count,
                              const load::trace& load, policy& pol,
                              const sim_options& opts) {
-  require(battery_count >= 1, "simulate: need at least one battery");
-  discrete_model model{{disc},
-                       std::vector<std::size_t>(battery_count, 0), opts};
+  discrete_model model{kibam::bank{disc, battery_count}, opts};
   return run_simulation(model, load, pol, opts);
 }
 

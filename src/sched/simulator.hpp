@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "kibam/bank.hpp"
 #include "kibam/discrete.hpp"
 #include "kibam/kibam.hpp"
 #include "load/discretize.hpp"
@@ -68,6 +69,14 @@ struct sim_result {
     const std::vector<kibam::battery_parameters>& batteries,
     const load::trace& load, policy& pol, const sim_options& opts = {},
     const load::step_sizes& steps = {});
+
+/// Discrete simulation of an already-built kibam::bank — the same bank
+/// object the exact search and the rollout scheduler advance, so search
+/// and replay are guaranteed to step identical per-battery state.
+[[nodiscard]] sim_result simulate_discrete(const kibam::bank& bank,
+                                           const load::trace& load,
+                                           policy& pol,
+                                           const sim_options& opts = {});
 
 /// Discrete simulation of `battery_count` identical batteries (the paper's
 /// Tables 3-5 setup).

@@ -94,6 +94,10 @@ TEST(Engine, OptPolicyReproducesExactSearch) {
   const run_result r = eng.run(scn);
   EXPECT_NEAR(r.sim.lifetime_min, best.lifetime_min, 1e-12);
   EXPECT_EQ(r.policy_name, "opt");
+  // The search statistics surface unchanged through run_result.
+  EXPECT_EQ(r.search, best.stats);
+  EXPECT_GT(r.search.nodes, 0u);
+  EXPECT_GT(r.search.memo_entries, 0u);
 
   scenario worst_scn = scn;
   worst_scn.policy = "worst";
@@ -102,6 +106,18 @@ TEST(Engine, OptPolicyReproducesExactSearch) {
   EXPECT_NEAR(w.sim.lifetime_min,
               opt::worst_schedule(disc, 2, trace).lifetime_min, 1e-12);
   EXPECT_LE(w.sim.lifetime_min, r.sim.lifetime_min);
+}
+
+TEST(Engine, RegistryPoliciesReportZeroSearchStats) {
+  const engine eng;
+  const scenario scn{.label = {},
+                     .batteries = bank(2, b1),
+                     .load = load::test_load::cl_250,
+                     .policy = "best_of_n",
+                     .model = fidelity::discrete,
+                     .steps = {},
+                     .sim = {}};
+  EXPECT_EQ(eng.run(scn).search, opt::search_stats{});
 }
 
 TEST(Engine, LookaheadPolicyRunsViaName) {
@@ -115,18 +131,43 @@ TEST(Engine, LookaheadPolicyRunsViaName) {
                      .sim = {}};
   const run_result r = eng.run(scn);
   EXPECT_GT(r.sim.lifetime_min, 0.0);
+  EXPECT_GT(r.search.rollouts, 0u);
+  EXPECT_EQ(r.search.nodes, 0u);
 }
 
-TEST(Engine, SearchPoliciesRejectHeterogeneousBanks) {
+TEST(Engine, SearchPoliciesAcceptHeterogeneousBanks) {
+  // The gap the paper measures on identical banks exists for mixed
+  // capacities too: on a 5.5 + 4.0 A*min bank under ILs alt the exact
+  // schedule strictly beats greedy best-of-n.
   const engine eng;
   const scenario scn{.label = {},
-                     .batteries = {b1, kibam::battery_b2()},
-                     .load = load::test_load::cl_alt,
+                     .batteries = {kibam::itsy_battery(5.5),
+                                   kibam::itsy_battery(4.0)},
+                     .load = load::test_load::ils_alt,
                      .policy = "opt",
                      .model = fidelity::discrete,
                      .steps = {},
                      .sim = {}};
-  EXPECT_THROW((void)eng.run(scn), error);
+  const run_result best = eng.run(scn);
+  EXPECT_EQ(best.policy_name, "opt");
+  EXPECT_GT(best.search.nodes, 0u);
+
+  scenario greedy_scn = scn;
+  greedy_scn.policy = "best_of_n";
+  const run_result greedy = eng.run(greedy_scn);
+  EXPECT_GT(best.sim.lifetime_min, greedy.sim.lifetime_min + 0.1);
+
+  scenario worst_scn = scn;
+  worst_scn.policy = "worst";
+  const run_result worst = eng.run(worst_scn);
+  scenario la_scn = scn;
+  la_scn.policy = "lookahead:horizon=2";
+  const run_result la = eng.run(la_scn);
+  EXPECT_GT(la.search.rollouts, 0u);
+  for (const run_result* r : {&greedy, &la}) {
+    EXPECT_GE(r->sim.lifetime_min, worst.sim.lifetime_min - 1e-9);
+    EXPECT_LE(r->sim.lifetime_min, best.sim.lifetime_min + 1e-9);
+  }
 }
 
 TEST(Engine, SearchPoliciesRejectContinuousFidelity) {

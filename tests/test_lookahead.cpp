@@ -91,8 +91,8 @@ TEST(Lookahead, RolloutCountBoundedByDecisions) {
   const load::trace t = load::paper_trace(load::test_load::ils_500);
   for (const std::size_t horizon : {0u, 8u}) {
     const auto r = lookahead_schedule(d, 2, t, horizon);
-    EXPECT_GT(r.rollouts, 0u);
-    EXPECT_LE(r.rollouts, 2 * r.decisions.size());
+    EXPECT_GT(r.stats.rollouts, 0u);
+    EXPECT_LE(r.stats.rollouts, 2 * r.decisions.size());
   }
 }
 
