@@ -4,9 +4,9 @@
 // the load function is known in advance" — lookahead needs only a bounded
 // window of it.
 //
-// The whole ablation is one engine batch: six policy specs per load, with
-// rollout and search effort read off api::run_result::search instead of
-// calling into opt:: directly.
+// The whole ablation is one streamed engine sweep: six policy specs per
+// load, with rollout and search effort read off api::run_result::search
+// as results arrive instead of calling into opt:: directly.
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -14,6 +14,7 @@
 
 #include "api/engine.hpp"
 #include "api/scenario.hpp"
+#include "api/sweep.hpp"
 #include "load/jobs.hpp"
 #include "util/table.hpp"
 
@@ -31,30 +32,39 @@ int main() {
   const std::vector<std::string> policies{
       "best_of_n",           "lookahead:horizon=0", "lookahead:horizon=2",
       "lookahead:horizon=4", "lookahead:horizon=8", "opt"};
-  const std::vector<api::scenario> sweep =
-      api::cross({api::bank(2, kibam::battery_b1())}, loads, policies,
-                 {api::fidelity::discrete});
+  api::sweep sweep;
+  sweep.reseed = false;  // deterministic paper loads, run as declared
+  sweep.cells = api::cross({api::bank(2, kibam::battery_b1())}, loads,
+                           policies, {api::fidelity::discrete});
 
+  // Stream the sweep, keeping one lifetime per cell plus the la-4/opt
+  // effort counters — not the full run_result vectors.
+  std::vector<double> lifetimes(sweep.cells.size(), 0.0);
+  std::uint64_t rollouts_la4 = 0;
+  std::uint64_t nodes_opt = 0;
+  bool failed = false;
   const api::engine engine;
-  const std::vector<api::run_result> results = engine.run_batch(sweep);
+  engine.run_sweep(sweep, [&](const api::sweep_result& res) {
+    if (!res.result.ok()) {
+      std::fprintf(stderr, "scenario failed: %s\n",
+                   res.result.error.c_str());
+      failed = true;
+      return;
+    }
+    lifetimes[res.cell] = res.result.sim.lifetime_min;
+    const std::size_t policy = res.cell % policies.size();
+    if (policy == 3) rollouts_la4 += res.result.search.rollouts;
+    if (policy == 5) nodes_opt += res.result.search.nodes;
+  });
+  if (failed) return 1;
 
   text_table table{{"test load", "best-of-two", "la-0", "la-2", "la-4",
                     "la-8", "optimal", "gap recovered (la-4)"}};
-  std::uint64_t rollouts_la4 = 0;
-  std::uint64_t nodes_opt = 0;
   for (std::size_t l = 0; l < loads.size(); ++l) {
-    const api::run_result* cell = &results[l * policies.size()];
-    for (std::size_t c = 0; c < policies.size(); ++c) {
-      if (!cell[c].ok()) {
-        std::fprintf(stderr, "scenario failed: %s\n", cell[c].error.c_str());
-        return 1;
-      }
-    }
-    const double greedy = cell[0].sim.lifetime_min;
-    const double la4 = cell[3].sim.lifetime_min;
-    const double best = cell[5].sim.lifetime_min;
-    rollouts_la4 += cell[3].search.rollouts;
-    nodes_opt += cell[5].search.nodes;
+    const double* cell = &lifetimes[l * policies.size()];
+    const double greedy = cell[0];
+    const double la4 = cell[3];
+    const double best = cell[5];
 
     const auto fmt = [](double v) {
       char b[32];
@@ -69,9 +79,8 @@ int main() {
       recovered = b;
     }
     table.row({load::name(load::all_test_loads()[l]), fmt(greedy),
-               fmt(cell[1].sim.lifetime_min), fmt(cell[2].sim.lifetime_min),
-               fmt(la4), fmt(cell[4].sim.lifetime_min), fmt(best),
-               recovered});
+               fmt(cell[1]), fmt(cell[2]), fmt(la4), fmt(cell[4]),
+               fmt(best), recovered});
   }
   std::fputs(table.str().c_str(), stdout);
   std::printf(

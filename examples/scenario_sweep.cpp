@@ -1,80 +1,136 @@
-// A Table-5-style evaluation sweep as data: 2 batteries x all ten test
-// loads x three scheduling policies x both model fidelities, built with
-// api::cross and executed through engine::run_batch on a worker pool.
+// A replicated random-load sweep through engine::run_sweep: ten cells
+// (five seeded random/markov workloads x two policies on 2 x B1), each
+// evaluated `--replications` times with derived per-(cell, replication)
+// seeds, streamed into the api::summarize sink.
 //
-//   $ ./scenario_sweep [n_threads]
+//   $ ./scenario_sweep [--threads N] [--replications R] [--csv FILE]
 //
-// Prints one row per load with the lifetime of every policy/fidelity cell
-// and cross-checks the multi-threaded batch against a single-threaded run,
-// result for result.
+// Prints one row per cell with the lifetime distribution statistics
+// (n, mean, stddev, 95% CI, min/max, cache hits) and cross-checks the
+// multi-threaded sweep against a single-threaded run, summary for
+// summary — the aggregates must be byte-identical whatever the thread
+// count. With --csv the same columns are written through util/csv, so a
+// full sweep is reproducible and plottable from the command line.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "api/engine.hpp"
 #include "api/scenario.hpp"
+#include "api/sweep.hpp"
+#include "util/csv.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace bsched;
-  const std::size_t n_threads =
-      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 8;
 
-  const std::vector<std::string> policies{"sequential", "round_robin",
-                                          "best_of_n"};
-  const std::vector<api::fidelity> fidelities{api::fidelity::discrete,
-                                              api::fidelity::continuous};
-  std::vector<api::load_spec> loads;
-  for (const load::test_load l : load::all_test_loads()) {
-    loads.emplace_back(l);
+  std::size_t n_threads = 8;
+  std::size_t replications = 30;
+  std::string csv_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    const auto number = [&](const std::string& text) -> std::size_t {
+      try {
+        std::size_t end = 0;
+        const unsigned long v = std::stoul(text, &end);
+        if (end == text.size()) return v;
+      } catch (const std::exception&) {
+      }
+      std::fprintf(stderr, "%s: not a number: '%s'\n", arg.c_str(),
+                   text.c_str());
+      std::exit(2);
+    };
+    if (arg == "--threads") {
+      n_threads = number(value());
+    } else if (arg == "--replications") {
+      replications = number(value());
+    } else if (arg == "--csv") {
+      csv_path = value();
+    } else {
+      std::fprintf(stderr,
+                   "usage: scenario_sweep [--threads N] "
+                   "[--replications R] [--csv FILE]\n");
+      return 2;
+    }
   }
-  const std::vector<api::scenario> sweep = api::cross(
-      {api::bank(2, kibam::battery_b1())}, loads, policies, fidelities);
+
+  std::vector<api::load_spec> loads;
+  for (const char* text : {"random:count=40,p=0.3,seed=1",
+                           "random:count=40,p=0.5,seed=2",
+                           "random:count=40,p=0.8,seed=3",
+                           "markov:count=40,p=0.7,seed=4",
+                           "markov:count=40,p=0.9,seed=5"}) {
+    loads.push_back(api::load_spec::parse(text));
+  }
+  api::sweep sweep;
+  sweep.seed = 2009;  // DSN
+  sweep.replications = replications;
+  sweep.cells = api::cross({api::bank(2, kibam::battery_b1())}, loads,
+                           {"round_robin", "best_of_n"},
+                           {api::fidelity::discrete});
   std::printf(
-      "sweep: %zu scenarios (2 x B1, %zu loads, %zu policies, "
-      "%zu fidelities), %zu threads\n\n",
-      sweep.size(), loads.size(), policies.size(), fidelities.size(),
-      n_threads);
+      "sweep: %zu cells (2 x B1, random/markov loads x round_robin/"
+      "best_of_n)\n       x %zu replications = %zu runs, %zu threads, "
+      "base seed %llu\n\n",
+      sweep.cells.size(), sweep.replications,
+      sweep.cells.size() * sweep.replications, n_threads,
+      static_cast<unsigned long long>(sweep.seed));
 
   const api::engine engine;
-  const std::vector<api::run_result> results =
-      engine.run_batch(sweep, n_threads);
-  const std::vector<api::run_result> reference = engine.run_batch(sweep, 1);
+  api::summarize sink{sweep};
+  const api::sweep_stats stats = engine.run_sweep(sweep, sink, n_threads);
 
-  text_table table{{"test load", "seq (d)", "seq (c)", "rr (d)", "rr (c)",
-                    "b2 (d)", "b2 (c)"}};
-  // cross() emits fidelities innermost, policies next: for each load the
-  // six cells are contiguous.
-  const std::size_t cells = policies.size() * fidelities.size();
-  std::size_t failures = 0;
-  for (std::size_t l = 0; l < loads.size(); ++l) {
-    std::vector<std::string> row{loads[l].describe()};
-    for (std::size_t c = 0; c < cells; ++c) {
-      const api::run_result& r = results[l * cells + c];
-      if (!r.ok()) {
-        ++failures;
-        std::fprintf(stderr, "scenario '%s' failed: %s\n",
-                     sweep[l * cells + c].describe().c_str(),
-                     r.error.c_str());
-        row.push_back("error");
-        continue;
-      }
-      char buf[32];
-      std::snprintf(buf, sizeof buf, "%.2f", r.sim.lifetime_min);
-      row.push_back(buf);
-    }
-    table.row(std::move(row));
+  // The determinism contract, demonstrated: a single-threaded run must
+  // produce byte-identical summaries and stats.
+  api::summarize reference{sweep};
+  const api::sweep_stats ref_stats = engine.run_sweep(sweep, reference, 1);
+  const bool deterministic =
+      sink.cells() == reference.cells() && stats == ref_stats;
+
+  const auto fmt = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f", v);
+    return std::string{buf};
+  };
+  text_table table{{"cell", "n", "fail", "mean", "stddev", "ci95", "min",
+                    "max", "cached"}};
+  for (const api::cell_summary& c : sink.cells()) {
+    table.row({c.label, std::to_string(c.n), std::to_string(c.failures),
+               fmt(c.mean_min), fmt(c.stddev_min), fmt(c.ci95_min),
+               fmt(c.min_min), fmt(c.max_min),
+               std::to_string(c.cache_hits)});
   }
   std::fputs(table.str().c_str(), stdout);
-
-  std::size_t mismatches = 0;
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    if (!(results[i] == reference[i])) ++mismatches;
-  }
   std::printf(
-      "\n%zu-thread batch vs single-threaded reference: %zu mismatches "
-      "(scenarios are self-seeded, so batches are deterministic); "
-      "%zu failed scenarios.\n",
-      n_threads, mismatches, failures);
-  return mismatches == 0 && failures == 0 ? 0 : 1;
+      "\nLifetimes in minutes; ci95 is the half-width of the normal 95%% "
+      "confidence\ninterval. %zu runs, %zu distinct cells evaluated, %zu "
+      "cache hits, %zu failures.\n%zu-thread sweep vs single-threaded "
+      "reference: %s.\n",
+      stats.runs, stats.evaluated, stats.cache_hits, stats.failures,
+      n_threads, deterministic ? "byte-identical" : "MISMATCH");
+
+  if (!csv_path.empty()) {
+    csv_writer csv{csv_path,
+                   {"cell", "label", "n", "failures", "mean_min",
+                    "stddev_min", "ci95_min", "min_min", "max_min",
+                    "cache_hits"}};
+    for (const api::cell_summary& c : sink.cells()) {
+      csv.row({std::to_string(c.cell), c.label, std::to_string(c.n),
+               std::to_string(c.failures), format_double(c.mean_min),
+               format_double(c.stddev_min), format_double(c.ci95_min),
+               format_double(c.min_min), format_double(c.max_min),
+               std::to_string(c.cache_hits)});
+    }
+    std::printf("wrote %zu summary rows to %s\n", csv.rows_written(),
+                csv_path.c_str());
+  }
+  return deterministic && stats.failures == 0 ? 0 : 1;
 }

@@ -26,11 +26,20 @@ run_debug() {
 run_release() {
   build_and_test release Release
   local dir="$BUILD_PREFIX-release"
-  # Smoke runs: the scenario-API example must agree across thread counts
-  # (exits non-zero on mismatch), Table 3 must render, and the
+  # Thread-count independence of the sweep aggregates, exercised both
+  # ways: the Sweep* suites once with ctest parallelism forced off, and
+  # once scheduled in parallel (-j), so a scheduling-dependent aggregate
+  # can't slip through on either path.
+  CTEST_PARALLEL_LEVEL=1 ctest --test-dir "$dir" -R Sweep \
+    --no-tests=error --output-on-failure
+  ctest --test-dir "$dir" -R Sweep --no-tests=error --output-on-failure \
+    -j "$JOBS"
+  # Smoke runs: the replicated-sweep example must agree across thread
+  # counts (exits non-zero when the multi-threaded aggregates mismatch
+  # the single-threaded reference), Table 3 must render, and the
   # microbenchmarks must run (quick settings — this guards against crashes
   # and lets gross regressions show up in the CI log, not a perf gate).
-  "$dir/scenario_sweep" 4
+  "$dir/scenario_sweep" --threads 4 --replications 10
   "$dir/bench_table3" > /dev/null
   if [ -x "$dir/bench_micro" ]; then
     "$dir/bench_micro" --benchmark_min_time=0.01

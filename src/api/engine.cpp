@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
+#include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 
 #include "kibam/bank.hpp"
 #include "opt/lookahead.hpp"
@@ -99,37 +102,159 @@ run_result engine::run(const scenario& scn) const {
   return out;
 }
 
-std::vector<run_result> engine::run_batch(std::span<const scenario> scenarios,
-                                          std::size_t n_threads) const {
-  std::vector<run_result> out(scenarios.size());
-  if (scenarios.empty()) return out;
-  if (n_threads == 0) n_threads = std::thread::hardware_concurrency();
-  n_threads = std::clamp<std::size_t>(n_threads, 1, scenarios.size());
+sweep_stats engine::run_sweep(const sweep& sw, result_sink& sink,
+                              std::size_t n_threads) const {
+  sweep_stats stats;
+  const std::size_t total = sw.cells.size() * sw.replications;
+  if (total == 0) return stats;
+  stats.runs = total;
 
+  // Dedup pass: one job per distinct effective scenario, in first-seen
+  // grid order. Duplicate (cell, replication) items — repeated grid cells,
+  // or replications of a deterministic cell, where re-seeding is a no-op —
+  // share the job and are later delivered as cache hits. Deterministic
+  // cells key (and copy) once per cell, not once per replication.
+  constexpr std::size_t none = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> job_of(total);
+  std::vector<std::size_t> first_item;  // grid item that evaluates the job
+  std::vector<std::size_t> last_item;   // after it, the result is dropped
+  std::vector<scenario> jobs;
+  {
+    std::unordered_map<std::string, std::size_t> index;
+    for (std::size_t cell = 0; cell < sw.cells.size(); ++cell) {
+      const bool varies = sw.reseed && stochastic(sw.cells[cell]);
+      std::size_t repeated_job = none;
+      for (std::size_t rep = 0; rep < sw.replications; ++rep) {
+        const std::size_t item = cell * sw.replications + rep;
+        std::size_t job;
+        if (repeated_job != none) {
+          job = repeated_job;
+        } else if (varies) {
+          scenario eff = replicate(sw, cell, rep);
+          const auto [it, inserted] =
+              index.try_emplace(cell_key(eff), jobs.size());
+          if (inserted) {
+            jobs.push_back(std::move(eff));
+            first_item.push_back(item);
+            last_item.push_back(item);
+          }
+          job = it->second;
+        } else {
+          // Deterministic cell: key it in place, copy only on insertion.
+          const auto [it, inserted] =
+              index.try_emplace(cell_key(sw.cells[cell]), jobs.size());
+          if (inserted) {
+            jobs.push_back(sw.cells[cell]);
+            first_item.push_back(item);
+            last_item.push_back(item);
+          }
+          job = it->second;
+          repeated_job = job;
+        }
+        job_of[item] = job;
+        last_item[job] = item;
+      }
+    }
+  }
+  stats.evaluated = jobs.size();
+  stats.cache_hits = total - jobs.size();
+
+  std::vector<run_result> results(jobs.size());
+  std::vector<std::atomic<bool>> done(jobs.size());
+
+  const auto evaluate = [&](std::size_t j) noexcept {
+    try {
+      results[j] = run(jobs[j]);
+    } catch (const std::exception& e) {
+      results[j] = run_result{};
+      results[j].error = e.what();
+    } catch (...) {
+      results[j] = run_result{};
+      results[j].error = "unknown error";
+    }
+    done[j].store(true, std::memory_order_release);
+  };
+
+  // Ordered streaming delivery: after every evaluation, whichever worker
+  // holds the mutex flushes the contiguous run of grid items whose jobs
+  // have completed. The sink therefore sees results strictly in grid
+  // order from one thread at a time, and the last evaluation to finish
+  // drains the tail — no post-join sweep-up needed. A throwing sink
+  // (contract violation) stops further deliveries; the first exception
+  // is rethrown on the calling thread once the pool has drained.
+  std::mutex deliver_mutex;
+  std::size_t delivered = 0;                // guarded by deliver_mutex
+  std::exception_ptr sink_error = nullptr;  // guarded by deliver_mutex
+  const auto flush = [&]() {
+    const std::scoped_lock lock(deliver_mutex);
+    while (delivered < total &&
+           done[job_of[delivered]].load(std::memory_order_acquire)) {
+      const std::size_t item = delivered;
+      const std::size_t j = job_of[item];
+      if (!results[j].ok()) ++stats.failures;
+      if (sink_error == nullptr) {
+        try {
+          sink.consume(sweep_result{item / sw.replications,
+                                    item % sw.replications,
+                                    item != first_item[j], results[j]});
+        } catch (...) {
+          sink_error = std::current_exception();
+        }
+      }
+      // Nothing after a job's last grid item reads its result: drop it
+      // so retained results track the delivery frontier. (Workers take
+      // no backpressure from that frontier, so a slow early job can
+      // still buffer later completions until it delivers.)
+      if (item == last_item[j]) results[j] = run_result{};
+      ++delivered;
+    }
+  };
+
+  if (n_threads == 0) n_threads = std::thread::hardware_concurrency();
+  n_threads = std::clamp<std::size_t>(n_threads, 1, jobs.size());
   std::atomic<std::size_t> next{0};
   const auto worker = [&]() noexcept {
-    for (std::size_t i = next.fetch_add(1); i < scenarios.size();
-         i = next.fetch_add(1)) {
-      try {
-        out[i] = run(scenarios[i]);
-      } catch (const std::exception& e) {
-        out[i] = run_result{};
-        out[i].error = e.what();
-      } catch (...) {
-        out[i] = run_result{};
-        out[i].error = "unknown error";
-      }
+    for (std::size_t j = next.fetch_add(1); j < jobs.size();
+         j = next.fetch_add(1)) {
+      evaluate(j);
+      flush();
     }
   };
 
   if (n_threads == 1) {
     worker();
-    return out;
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(n_threads);
+    for (std::size_t t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
   }
-  std::vector<std::thread> pool;
-  pool.reserve(n_threads);
-  for (std::size_t t = 0; t < n_threads; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
+  BSCHED_ASSERT(delivered == total);
+  if (sink_error != nullptr) std::rethrow_exception(sink_error);
+  return stats;
+}
+
+sweep_stats engine::run_sweep(const sweep& sw,
+                              std::function<void(const sweep_result&)> fn,
+                              std::size_t n_threads) const {
+  callback_sink sink{std::move(fn)};
+  return run_sweep(sw, sink, n_threads);
+}
+
+std::vector<run_result> engine::run_batch(std::span<const scenario> scenarios,
+                                          std::size_t n_threads) const {
+  // One replication of every cell, no re-seeding: the scenarios run with
+  // exactly the seeds they declare, and results land positionally.
+  // Duplicate scenarios are served from the sweep's cell cache, which is
+  // observationally identical to evaluating them again (scenarios are
+  // pure functions of their value).
+  sweep sw;
+  sw.cells.assign(scenarios.begin(), scenarios.end());
+  sw.replications = 1;
+  sw.reseed = false;
+  std::vector<run_result> out(scenarios.size());
+  run_sweep(
+      sw, [&](const sweep_result& r) { out[r.cell] = r.result; }, n_threads);
   return out;
 }
 

@@ -14,44 +14,31 @@
 // would silently diverge at hand-overs). Their search statistics are
 // reported in run_result::search.
 //
-// `run_batch` evaluates scenarios on `n_threads` workers. Scenarios are
-// self-contained (per-scenario RNG seeding, no shared state), so batch
-// results are byte-identical whatever the thread count — determinism is
-// asserted in tests/test_api.cpp.
+// `run_sweep` evaluates a replicated scenario grid (api/sweep.hpp) on
+// `n_threads` workers, streaming every completed run_result through a
+// result_sink in deterministic grid order and caching duplicate cells by
+// value. `run_batch` is a thin collecting sink over run_sweep. Scenarios
+// are self-contained (per-scenario RNG seeding, no shared state), so
+// sweep aggregates and batch results are byte-identical whatever the
+// thread count — determinism is asserted in tests/test_api.cpp and
+// tests/test_sweep.cpp.
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "api/result.hpp"
 #include "api/scenario.hpp"
+#include "api/sweep.hpp"
 #include "kibam/bank.hpp"
 #include "opt/search.hpp"
 #include "sched/registry.hpp"
 #include "sched/simulator.hpp"
 
 namespace bsched::api {
-
-/// Outcome of one scenario.
-struct run_result {
-  sched::sim_result sim;
-  /// Display name of the policy that ran (policy::name()); for the
-  /// engine-derived schedules, the requested name ("opt", "worst",
-  /// "lookahead") rather than the "fixed schedule" replay vehicle.
-  std::string policy_name;
-  /// Statistics of the search (nodes, memo hits, pruned, memo entries) or
-  /// rollout (rollouts) behind an engine-derived schedule; all-zero for
-  /// plain registry policies.
-  opt::search_stats search;
-  /// Empty on success. `engine::run` throws instead; `run_batch` captures
-  /// per-scenario failures here so one bad scenario cannot sink a sweep.
-  std::string error;
-
-  [[nodiscard]] bool ok() const noexcept { return error.empty(); }
-
-  friend bool operator==(const run_result&, const run_result&) = default;
-};
 
 struct engine_options {
   /// Policy name resolution; extend a copy of the built-ins to register
@@ -70,10 +57,28 @@ class engine {
   /// (empty bank, unknown policy or load, horizon exceeded, ...).
   [[nodiscard]] run_result run(const scenario& scn) const;
 
+  /// Evaluates a replicated scenario grid on a pool of `n_threads`
+  /// workers (0 = hardware concurrency), pushing each completed result
+  /// through `sink` as it finishes — in grid order (cells outer,
+  /// replications inner), serialized, so sink aggregates are
+  /// deterministic whatever the thread count. Distinct cells are
+  /// evaluated once and replayed for duplicates (sweep_result::
+  /// cache_hit); per-cell failures are captured in run_result::error,
+  /// never thrown. Returns the run/evaluation/cache-hit/failure counts.
+  sweep_stats run_sweep(const sweep& sw, result_sink& sink,
+                        std::size_t n_threads = 0) const;
+
+  /// Callable convenience overload of run_sweep.
+  sweep_stats run_sweep(const sweep& sw,
+                        std::function<void(const sweep_result&)> fn,
+                        std::size_t n_threads = 0) const;
+
   /// Evaluates every scenario on a pool of `n_threads` workers
   /// (0 = hardware concurrency). Results are positionally aligned with
   /// the input and identical to a sequential run; per-scenario failures
-  /// are reported in run_result::error.
+  /// are reported in run_result::error. Implemented as a collecting sink
+  /// over run_sweep (one replication, no re-seeding), so scenarios run
+  /// with exactly the seeds they declare.
   [[nodiscard]] std::vector<run_result> run_batch(
       std::span<const scenario> scenarios, std::size_t n_threads = 0) const;
 

@@ -1,0 +1,33 @@
+// The outcome of one scenario evaluation, shared by engine::run, the
+// batch surface and the sweep sinks (sweep.hpp).
+#pragma once
+
+#include <string>
+
+#include "opt/search.hpp"
+#include "sched/simulator.hpp"
+
+namespace bsched::api {
+
+/// Outcome of one scenario.
+struct run_result {
+  sched::sim_result sim;
+  /// Display name of the policy that ran (policy::name()); for the
+  /// engine-derived schedules, the requested name ("opt", "worst",
+  /// "lookahead") rather than the "fixed schedule" replay vehicle.
+  std::string policy_name;
+  /// Statistics of the search (nodes, memo hits, pruned, memo entries) or
+  /// rollout (rollouts) behind an engine-derived schedule; all-zero for
+  /// plain registry policies.
+  opt::search_stats search;
+  /// Empty on success. `engine::run` throws instead; `run_batch` and
+  /// `run_sweep` capture per-scenario failures here so one bad scenario
+  /// cannot sink a sweep.
+  std::string error;
+
+  [[nodiscard]] bool ok() const noexcept { return error.empty(); }
+
+  friend bool operator==(const run_result&, const run_result&) = default;
+};
+
+}  // namespace bsched::api

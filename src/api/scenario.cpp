@@ -1,6 +1,7 @@
 #include "api/scenario.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdio>
 
 #include "load/random.hpp"
@@ -8,6 +9,18 @@
 #include "util/spec.hpp"
 
 namespace bsched::api {
+
+namespace {
+
+/// Shortest decimal form that parses back to exactly `v` (std::to_chars
+/// round-trip guarantee), so described specs re-parse bit-identically.
+std::string shortest_double(double v) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, ptr);
+}
+
+}  // namespace
 
 std::string name(fidelity f) {
   switch (f) {
@@ -64,9 +77,16 @@ std::string load_spec::describe() const {
       return "trace(" + std::to_string(t.cycle().size()) + " epochs)";
     }
     std::string operator()(const random_load_spec& r) const {
-      const char* kind =
+      // Rendered through spec::str() so the description round-trips
+      // through load_spec::parse (tested in tests/test_api.cpp).
+      spec s;
+      s.name =
           r.generator == random_load_spec::kind::markov ? "markov" : "random";
-      return std::string{kind} + "(seed=" + std::to_string(r.seed) + ")";
+      s.params["count"] = std::to_string(r.count);
+      s.params["p"] = shortest_double(r.p);
+      s.params["idle"] = shortest_double(r.idle_min);
+      s.params["seed"] = std::to_string(r.seed);
+      return s.str();
     }
   };
   return std::visit(visitor{}, source_);

@@ -62,13 +62,25 @@ class load_spec {
   /// Expands to the concrete trace the simulator consumes.
   [[nodiscard]] load::trace materialize() const;
 
-  /// Human-readable description, e.g. "ILs alt" or "markov(seed=7)".
+  /// Human-readable description. For paper test loads and random specs it
+  /// is also the parse() round-trip form — "ILs alt",
+  /// "markov:count=40,idle=1,p=0.7,seed=7" — so a described load can be
+  /// reconstructed from a command line or CSV cell. Explicit traces have
+  /// no string form and describe as "trace(<n> epochs)".
   [[nodiscard]] std::string describe() const;
+
+  /// The declarative source backing this load (inspected by the sweep
+  /// machinery to re-seed random specs per replication).
+  using source_type =
+      std::variant<load::test_load, load::trace, random_load_spec>;
+  [[nodiscard]] const source_type& source() const noexcept {
+    return source_;
+  }
 
   friend bool operator==(const load_spec&, const load_spec&) = default;
 
  private:
-  std::variant<load::test_load, load::trace, random_load_spec> source_;
+  source_type source_;
 };
 
 /// One evaluation scenario: bank x load x policy x fidelity, plus the

@@ -1,0 +1,170 @@
+#include "api/sweep.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <variant>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/spec.hpp"
+
+namespace bsched::api {
+
+namespace {
+
+// Derivation streams of a replication's base seed: the load and the
+// policy draw from disjoint children so they never share an RNG stream.
+constexpr std::uint64_t load_stream = 0;
+constexpr std::uint64_t policy_stream = 1;
+
+}  // namespace
+
+bool stochastic(const scenario& scn) {
+  // Must mirror exactly what replicate() below re-seeds: a cell counts
+  // as stochastic iff replication would actually change it. Policies are
+  // constructed from their spec string alone, so anything replicate()
+  // leaves untouched — custom registrations included — runs
+  // bit-identically every replication and may be cached.
+  if (std::holds_alternative<random_load_spec>(scn.load.source())) {
+    return true;
+  }
+  try {
+    return parse_spec(scn.policy).name == "random";
+  } catch (const error&) {
+    return false;
+  }
+}
+
+scenario replicate(const sweep& sw, std::size_t cell,
+                   std::size_t replication) {
+  require(cell < sw.cells.size(), "replicate: cell index out of range");
+  scenario out = sw.cells[cell];
+  if (!sw.reseed) return out;
+  const std::uint64_t base = rng::derive(sw.seed, cell, replication);
+
+  if (const auto* r = std::get_if<random_load_spec>(&out.load.source())) {
+    random_load_spec reseeded = *r;
+    reseeded.seed = rng::derive(base, load_stream, r->seed);
+    out.load = load_spec{reseeded};
+  }
+
+  // Only the registry's "random" policy is stochastic; its declared seed
+  // folds into the derivation like the load's. Malformed policy strings
+  // are left untouched so the error surfaces in the cell's run_result
+  // rather than sinking the sweep here.
+  try {
+    spec s = parse_spec(out.policy);
+    if (s.name == "random") {
+      const std::uint64_t declared = s.get_u64("seed", 0);
+      s.params["seed"] =
+          std::to_string(rng::derive(base, policy_stream, declared));
+      out.policy = s.str();
+    }
+  } catch (const error&) {
+  }
+  return out;
+}
+
+namespace {
+
+void key_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%a,", v);  // hex float: exact, compact
+  out += buf;
+}
+
+struct load_key_visitor {
+  std::string& out;
+  void operator()(load::test_load l) const {
+    out += 'n';
+    out += load::name(l);
+  }
+  void operator()(const load::trace& t) const {
+    out += 't';
+    for (const load::epoch& e : t.prefix()) {
+      key_double(out, e.duration_min);
+      key_double(out, e.current_a);
+    }
+    out += '/';
+    for (const load::epoch& e : t.cycle()) {
+      key_double(out, e.duration_min);
+      key_double(out, e.current_a);
+    }
+  }
+  void operator()(const random_load_spec& r) const {
+    out += r.generator == random_load_spec::kind::markov ? 'm' : 'r';
+    out += std::to_string(r.count);
+    out += ',';
+    key_double(out, r.p);
+    key_double(out, r.idle_min);
+    out += std::to_string(r.seed);
+  }
+};
+
+}  // namespace
+
+std::string cell_key(const scenario& scn) {
+  std::string out;
+  out.reserve(128);
+  for (const kibam::battery_parameters& b : scn.batteries) {
+    key_double(out, b.capacity_amin);
+    key_double(out, b.c);
+    key_double(out, b.k_prime);
+  }
+  out += '|';
+  std::visit(load_key_visitor{out}, scn.load.source());
+  out += '|';
+  out += scn.model == fidelity::discrete ? 'd' : 'c';
+  key_double(out, scn.steps.time_step_min);
+  key_double(out, scn.steps.charge_unit_amin);
+  key_double(out, scn.sim.horizon_min);
+  out += scn.sim.record_trace ? '1' : '0';
+  key_double(out, scn.sim.sample_min);
+  // The policy spec is free-form text, so it goes last: everything before
+  // it is fixed-format and the remainder parses unambiguously.
+  out += '|';
+  out += scn.policy;
+  return out;
+}
+
+summarize::summarize(const sweep& sw)
+    : cells_(sw.cells.size()), m2_(sw.cells.size(), 0.0) {
+  for (std::size_t i = 0; i < sw.cells.size(); ++i) {
+    cells_[i].cell = i;
+    cells_[i].label = sw.cells[i].describe();
+  }
+}
+
+void summarize::consume(const sweep_result& r) {
+  require(r.cell < cells_.size(), "summarize: cell index out of range");
+  cell_summary& c = cells_[r.cell];
+  if (r.cache_hit) ++c.cache_hits;
+  if (!r.result.ok()) {
+    ++c.failures;
+    return;
+  }
+  const double x = r.result.sim.lifetime_min;
+  ++c.n;
+  if (c.n == 1) {
+    c.min_min = c.max_min = x;
+  } else {
+    c.min_min = std::min(c.min_min, x);
+    c.max_min = std::max(c.max_min, x);
+  }
+  // Welford's online update: numerically stable and single-pass, so the
+  // sink never has to retain the per-replication samples.
+  const double delta = x - c.mean_min;
+  c.mean_min += delta / static_cast<double>(c.n);
+  m2_[r.cell] += delta * (x - c.mean_min);
+  if (c.n >= 2) {
+    const double n = static_cast<double>(c.n);
+    c.stddev_min = std::sqrt(m2_[r.cell] / (n - 1));
+    c.ci95_min = 1.959963984540054 * c.stddev_min / std::sqrt(n);
+  } else {
+    c.stddev_min = 0;
+    c.ci95_min = 0;
+  }
+}
+
+}  // namespace bsched::api

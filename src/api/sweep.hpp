@@ -1,0 +1,159 @@
+// Replicated scenario sweeps — the batch surface behind engine::run_sweep.
+//
+// The paper's outlook asks for policy evaluation under *random* workloads,
+// where one run per grid cell is meaningless: lifetimes must be reported
+// as distributions over repeated seeded trials. A `sweep` is a scenario
+// grid plus a replication count; every (cell, replication) pair derives
+// its own seed (rng::derive, splitmix64-style) and re-seeds the cell's
+// random load / "random:" policy, so the whole sweep is one deterministic
+// value. Results stream through a `result_sink` as they finish instead of
+// being collected into a vector — delivery is serialized in grid order
+// (cells outer, replications inner), so every aggregate a sink builds is
+// byte-identical whatever the worker-thread count.
+//
+// Cells are cached by value: run_sweep evaluates each distinct
+// (bank, load, policy, fidelity, steps, sim options) cell once and replays
+// the result for duplicates (e.g. Table 5's opt/worst pairs repeated
+// across fidelity grids, or replications of a deterministic cell).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "api/result.hpp"
+#include "api/scenario.hpp"
+
+namespace bsched::api {
+
+/// A scenario grid evaluated `replications` times per cell.
+struct sweep {
+  std::vector<scenario> cells;
+  /// Evaluations per cell. Each replication derives fresh seeds for the
+  /// cell's random load spec and "random:..." policy (see `replicate`);
+  /// all other cells — including custom-registered policies, which are
+  /// deterministic in their spec string and therefore not re-seeded —
+  /// repeat bit-identically and collapse into one cached evaluation.
+  std::size_t replications = 1;
+  /// Base seed of the per-(cell, replication) derivation; sweeps with
+  /// different seeds draw independent replication streams.
+  std::uint64_t seed = 0;
+  /// When false, cells run verbatim — no seed derivation. This is the
+  /// `run_batch` compatibility mode: one replication of every cell with
+  /// exactly the seeds the scenarios declare.
+  bool reseed = true;
+};
+
+/// One completed run, as delivered to a result_sink. A transient view —
+/// `result` references the sweep's internal cache and is only valid for
+/// the duration of the consume() call.
+struct sweep_result {
+  std::size_t cell;         ///< Index into sweep.cells.
+  std::size_t replication;  ///< 0 .. replications-1.
+  /// True when the result was replayed from the cell cache rather than
+  /// simulated (an earlier grid position evaluated an identical cell).
+  bool cache_hit;
+  const run_result& result;
+};
+
+/// Receives every (cell, replication) result of a sweep exactly once, in
+/// grid order (cells outer, replications inner). Calls are serialized,
+/// so sinks need no locking. Sinks should not throw; if one does, no
+/// further results are delivered and the first exception resurfaces
+/// from run_sweep on the calling thread after the sweep drains.
+class result_sink {
+ public:
+  virtual ~result_sink() = default;
+  virtual void consume(const sweep_result& r) = 0;
+};
+
+/// Adapts a callable to result_sink:
+///   engine.run_sweep(sw, callback_sink{[&](const api::sweep_result& r) {
+///     ...
+///   }});
+class callback_sink final : public result_sink {
+ public:
+  explicit callback_sink(std::function<void(const sweep_result&)> fn)
+      : fn_(std::move(fn)) {}
+  void consume(const sweep_result& r) override { fn_(r); }
+
+ private:
+  std::function<void(const sweep_result&)> fn_;
+};
+
+/// Aggregate accounting of one run_sweep call.
+struct sweep_stats {
+  std::size_t runs = 0;       ///< Deliveries: cells x replications.
+  std::size_t evaluated = 0;  ///< Distinct cells actually simulated.
+  std::size_t cache_hits = 0; ///< runs - evaluated.
+  std::size_t failures = 0;   ///< Deliveries with run_result::error set.
+
+  friend bool operator==(const sweep_stats&, const sweep_stats&) = default;
+};
+
+/// Per-cell lifetime statistics over a sweep's replications (minutes).
+struct cell_summary {
+  std::size_t cell = 0;
+  std::string label;           ///< sweep.cells[cell].describe().
+  std::size_t n = 0;           ///< Successful replications.
+  std::size_t failures = 0;    ///< Replications with run_result::error.
+  std::size_t cache_hits = 0;  ///< Replications served from the cache.
+  double mean_min = 0;
+  double min_min = 0;
+  double max_min = 0;
+  /// Sample standard deviation (n - 1 denominator); 0 when n < 2.
+  double stddev_min = 0;
+  /// Half-width of the normal-approximation 95% confidence interval,
+  /// 1.96 * stddev / sqrt(n); 0 when n < 2.
+  double ci95_min = 0;
+
+  friend bool operator==(const cell_summary&, const cell_summary&) = default;
+};
+
+/// Collecting sink computing per-cell statistics as results stream in
+/// (Welford's online algorithm): memory is O(cells), independent of the
+/// replication count. Because sinks are fed in deterministic grid order,
+/// the summaries are byte-identical for any worker-thread count.
+class summarize final : public result_sink {
+ public:
+  /// Pre-sizes one summary per cell of `sw` (labels included).
+  explicit summarize(const sweep& sw);
+
+  void consume(const sweep_result& r) override;
+
+  [[nodiscard]] const std::vector<cell_summary>& cells() const noexcept {
+    return cells_;
+  }
+
+ private:
+  std::vector<cell_summary> cells_;
+  std::vector<double> m2_;  ///< Welford running sums of squared deviations.
+};
+
+/// The scenario run_sweep actually evaluates for (cell, replication).
+/// With sw.reseed, a fresh base seed rng::derive(sw.seed, cell,
+/// replication) re-seeds the cell's stochastic parts — the random load
+/// spec gets rng::derive(base, 0, declared seed) and a "random:..."
+/// policy gets rng::derive(base, 1, declared seed), so the two never
+/// share a stream and cells with intentionally different declared seeds
+/// stay distinct. Deterministic cells pass through unchanged (duplicates
+/// therefore still cache-hit); with !sw.reseed the cell is copied
+/// verbatim.
+[[nodiscard]] scenario replicate(const sweep& sw, std::size_t cell,
+                                 std::size_t replication);
+
+/// True when `replicate` would re-seed this cell — it has a random load
+/// spec or a "random:..." policy. Non-stochastic cells replicate
+/// bit-identically, so run_sweep evaluates them once per sweep.
+[[nodiscard]] bool stochastic(const scenario& scn);
+
+/// Canonical value key of a scenario: every lifetime-relevant field —
+/// bank, load, policy, fidelity, steps, sim options — in exact hex-float
+/// encoding; the display label is excluded. Scenarios with equal keys
+/// produce equal run_results, which is the invariant the sweep cell
+/// cache relies on.
+[[nodiscard]] std::string cell_key(const scenario& scn);
+
+}  // namespace bsched::api

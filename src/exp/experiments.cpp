@@ -17,10 +17,26 @@ double percent_diff(double value, double reference) {
   return 100.0 * (value - reference) / reference;
 }
 
-/// Unwraps a batch result, surfacing per-scenario failures as errors.
-const sched::sim_result& checked(const api::run_result& r) {
-  require(r.ok(), "experiment scenario failed: " + r.error);
-  return r.sim;
+/// Collects one lifetime per cell from a sweep, streaming through the
+/// sink instead of materializing run_result vectors; the first failure is
+/// rethrown after the sweep completes (one bad cell cannot sink the run
+/// mid-flight).
+std::vector<double> sweep_lifetimes(const api::engine& engine,
+                                    api::sweep sw) {
+  std::vector<double> lifetimes(sw.cells.size(), 0.0);
+  sw.replications = 1;
+  sw.reseed = false;  // run the cells exactly as declared
+  std::string first_error;
+  engine.run_sweep(sw, [&](const api::sweep_result& r) {
+    if (!r.result.ok()) {
+      if (first_error.empty()) first_error = r.result.error;
+      return;
+    }
+    lifetimes[r.cell] = r.result.sim.lifetime_min;
+  });
+  require(first_error.empty(),
+          "experiment scenario failed: " + first_error);
+  return lifetimes;
 }
 
 }  // namespace
@@ -59,30 +75,30 @@ std::vector<scheduling_row> scheduling_table(
   for (const load::test_load l : load::all_test_loads()) {
     loads.emplace_back(l);
   }
-  std::vector<api::scenario> sweep =
-      api::cross({api::bank(battery_count, battery)}, loads, policies,
-                 {api::fidelity::discrete});
-  for (api::scenario& s : sweep) s.steps = steps;
+  api::sweep sweep;
+  sweep.cells = api::cross({api::bank(battery_count, battery)}, loads,
+                           policies, {api::fidelity::discrete});
+  for (api::scenario& s : sweep.cells) s.steps = steps;
 
-  const api::engine engine;
-  const std::vector<api::run_result> results = engine.run_batch(sweep);
+  const std::vector<double> lifetimes =
+      sweep_lifetimes(api::engine{}, std::move(sweep));
 
   std::vector<scheduling_row> rows;
   rows.reserve(loads.size());
   const std::size_t cells = policies.size();
   for (std::size_t l = 0; l < loads.size(); ++l) {
-    const api::run_result* cell = &results[l * cells];
+    const double* cell = &lifetimes[l * cells];
     scheduling_row row{};
     row.load = load::all_test_loads()[l];
-    row.sequential_min = checked(cell[0]).lifetime_min;
-    row.round_robin_min = checked(cell[1]).lifetime_min;
-    row.best_of_two_min = checked(cell[2]).lifetime_min;
+    row.sequential_min = cell[0];
+    row.round_robin_min = cell[1];
+    row.best_of_two_min = cell[2];
     row.sequential_diff_percent =
         percent_diff(row.sequential_min, row.round_robin_min);
     row.best_of_two_diff_percent =
         percent_diff(row.best_of_two_min, row.round_robin_min);
     if (include_optimal) {
-      row.optimal_min = checked(cell[3]).lifetime_min;
+      row.optimal_min = cell[3];
       row.optimal_diff_percent =
           percent_diff(row.optimal_min, row.round_robin_min);
     }
@@ -122,8 +138,9 @@ figure6_data figure6(const kibam::battery_parameters& battery,
 std::vector<residual_point> residual_sweep(const std::vector<double>& scales,
                                            load::test_load l) {
   require(!scales.empty(), "residual_sweep: need at least one scale");
-  std::vector<api::scenario> sweep;
-  sweep.reserve(scales.size());
+  api::sweep sweep;
+  sweep.reseed = false;
+  sweep.cells.reserve(scales.size());
   for (const double scale : scales) {
     require(scale > 0, "residual_sweep: scales must be positive");
     api::scenario s{.label = {},
@@ -135,21 +152,26 @@ std::vector<residual_point> residual_sweep(const std::vector<double>& scales,
                     .steps = {},
                     .sim = {}};
     s.sim.horizon_min = 1e7;
-    sweep.push_back(std::move(s));
+    sweep.cells.push_back(std::move(s));
   }
 
+  // Streamed through the sink: only the two numbers each point needs are
+  // retained, not the full sim_result vectors.
+  std::vector<residual_point> out(scales.size());
+  std::string first_error;
   const api::engine engine;
-  const std::vector<api::run_result> results = engine.run_batch(sweep);
-
-  std::vector<residual_point> out;
-  out.reserve(scales.size());
-  for (std::size_t i = 0; i < scales.size(); ++i) {
-    const sched::sim_result& res = checked(results[i]);
-    const double capacity = sweep[i].batteries.front().capacity_amin;
+  engine.run_sweep(sweep, [&](const api::sweep_result& r) {
+    if (!r.result.ok()) {
+      if (first_error.empty()) first_error = r.result.error;
+      return;
+    }
+    const double capacity =
+        sweep.cells[r.cell].batteries.front().capacity_amin;
     const double initial = 2 * capacity;
-    out.push_back({scales[i], capacity, res.lifetime_min,
-                   res.residual_amin / initial});
-  }
+    out[r.cell] = {scales[r.cell], capacity, r.result.sim.lifetime_min,
+                   r.result.sim.residual_amin / initial};
+  });
+  require(first_error.empty(), "experiment scenario failed: " + first_error);
   return out;
 }
 

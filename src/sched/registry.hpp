@@ -26,6 +26,13 @@ class registry {
   using factory = std::function<std::unique_ptr<policy>(const spec&)>;
 
   /// Registers `make` under `name`; replaces an existing entry.
+  /// Factories must be pure in the spec — same spec, same behaviour, no
+  /// outside entropy — because the whole experiment surface (batch
+  /// determinism, the sweep cell cache, replication statistics) treats a
+  /// policy spec string as a value. A factory drawing from e.g.
+  /// std::random_device would make replications of its cells collapse
+  /// into one cached sample; thread seeds through the spec instead, as
+  /// "random:seed=N" does.
   void add(std::string name, factory make);
 
   /// True when `name` (the bare name, no parameters) is registered.

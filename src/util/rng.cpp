@@ -18,6 +18,14 @@ constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
 }
 }  // namespace
 
+std::uint64_t rng::derive(std::uint64_t seed, std::uint64_t stream) noexcept {
+  // Jump the splitmix64 state ahead by `stream` increments (the state
+  // advances by the golden-ratio constant per draw), then mix once: the
+  // result is exactly the stream-th output of splitmix64 seeded at `seed`.
+  std::uint64_t state = seed + stream * 0x9e3779b97f4a7c15ULL;
+  return splitmix64(state);
+}
+
 rng::rng(std::uint64_t seed) noexcept {
   std::uint64_t s = seed;
   for (auto& word : state_) word = splitmix64(s);

@@ -21,6 +21,21 @@ class rng {
 
   explicit rng(std::uint64_t seed) noexcept;
 
+  /// Derives a child seed: `derive(seed, i)` is the i-th output of the
+  /// splitmix64 stream started at `seed`, so adjacent streams are as
+  /// independent as consecutive splitmix64 draws. Extra arguments nest —
+  /// `derive(s, a, b) == derive(derive(s, a), b)` — which gives every
+  /// (cell, replication, component) tuple of a sweep its own stream.
+  [[nodiscard]] static std::uint64_t derive(std::uint64_t seed,
+                                            std::uint64_t stream) noexcept;
+  template <class... Streams>
+  [[nodiscard]] static std::uint64_t derive(std::uint64_t seed,
+                                            std::uint64_t stream,
+                                            std::uint64_t next,
+                                            Streams... rest) noexcept {
+    return derive(derive(seed, stream), next, rest...);
+  }
+
   [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
   [[nodiscard]] static constexpr result_type max() noexcept {
     return ~static_cast<result_type>(0);

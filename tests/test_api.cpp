@@ -26,10 +26,31 @@ TEST(LoadSpec, ParsesPaperNamesAndRandomSpecs) {
       load_spec::parse("markov:count=10,p=0.7,idle=1,seed=3");
   EXPECT_EQ(markov.materialize(),
             load::markov_jobs(10, 0.7, 1.0, 3).to_trace());
-  EXPECT_EQ(markov.describe(), "markov(seed=3)");
+  EXPECT_EQ(markov.describe(), "markov:count=10,idle=1,p=0.7,seed=3");
 
   EXPECT_THROW((void)load_spec::parse("no such load"), error);
   EXPECT_THROW((void)load_spec::parse("markov:count=10,sede=3"), error);
+}
+
+TEST(LoadSpec, DescribeRoundTripsThroughParse) {
+  // Every parseable source variant — paper name, iid random, markov —
+  // re-parses from its own description to an equal load_spec.
+  for (const load::test_load l : load::all_test_loads()) {
+    const load_spec spec{l};
+    EXPECT_EQ(load_spec::parse(spec.describe()), spec);
+  }
+  for (const char* text :
+       {"random:count=40,p=0.5,idle=1,seed=7",
+        "random:count=3,p=0.125,idle=0.25,seed=0",
+        "markov:count=40,p=0.7,idle=1,seed=7",
+        // Values without exact short decimals survive via shortest
+        // round-trip formatting.
+        "markov:count=9,p=0.30000000000000004,idle=2.1,seed=18446744073709551615"}) {
+    const load_spec spec = load_spec::parse(text);
+    EXPECT_EQ(load_spec::parse(spec.describe()), spec) << text;
+    EXPECT_EQ(load_spec::parse(spec.describe()).describe(), spec.describe())
+        << text;
+  }
 }
 
 TEST(LoadSpec, ExplicitTracePassesThrough) {

@@ -1,0 +1,364 @@
+// The sweep surface: per-replication seed derivation, deterministic
+// grid-order streaming across thread counts, the by-value cell cache,
+// per-cell statistics, and failure isolation. All suite names start with
+// "Sweep" so CI can re-run them serially and in parallel via
+// `ctest -R Sweep` (scripts/ci.sh).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <variant>
+
+#include "api/engine.hpp"
+#include "api/scenario.hpp"
+#include "api/sweep.hpp"
+#include "util/error.hpp"
+
+namespace bsched::api {
+namespace {
+
+const kibam::battery_parameters b1 = kibam::battery_b1();
+
+scenario base_cell(load_spec load, std::string policy) {
+  return scenario{.label = {},
+                  .batteries = bank(2, b1),
+                  .load = std::move(load),
+                  .policy = std::move(policy),
+                  .model = fidelity::discrete,
+                  .steps = {},
+                  .sim = {}};
+}
+
+/// The 10-cell random/markov grid of the acceptance criteria: five
+/// stochastic loads x two policies.
+sweep random_grid(std::size_t replications) {
+  sweep sw;
+  for (const char* load : {"random:count=20,p=0.3,seed=1",
+                           "random:count=20,p=0.6,seed=2",
+                           "random:count=20,p=0.8,seed=3",
+                           "markov:count=20,p=0.7,seed=4",
+                           "markov:count=20,p=0.9,seed=5"}) {
+    for (const char* policy : {"round_robin", "best_of_n"}) {
+      sw.cells.push_back(base_cell(load_spec::parse(load), policy));
+    }
+  }
+  sw.replications = replications;
+  sw.seed = 2026;
+  return sw;
+}
+
+TEST(SweepReplicate, DerivesDistinctSeedsPerCellAndReplication) {
+  const sweep sw = random_grid(4);
+  std::set<std::uint64_t> seeds;
+  for (std::size_t c = 0; c < sw.cells.size(); ++c) {
+    for (std::size_t r = 0; r < sw.replications; ++r) {
+      const scenario eff = replicate(sw, c, r);
+      const auto* spec = std::get_if<random_load_spec>(&eff.load.source());
+      ASSERT_NE(spec, nullptr);
+      seeds.insert(spec->seed);
+      // Deterministic: the same (sweep, cell, replication) always derives
+      // the same scenario.
+      EXPECT_EQ(cell_key(replicate(sw, c, r)), cell_key(eff));
+    }
+  }
+  // Every (cell, replication) drew its own load seed.
+  EXPECT_EQ(seeds.size(), sw.cells.size() * sw.replications);
+}
+
+TEST(SweepReplicate, ReseedsRandomPolicyOnItsOwnStream) {
+  sweep sw;
+  sw.cells.push_back(base_cell(
+      load_spec::parse("random:count=10,p=0.5,seed=7"), "random:seed=7"));
+  sw.seed = 9;
+  const scenario eff = replicate(sw, 0, 0);
+  const auto* load = std::get_if<random_load_spec>(&eff.load.source());
+  ASSERT_NE(load, nullptr);
+  // Both were re-seeded, and despite equal declared seeds the load and
+  // the policy draw from different derivation streams.
+  EXPECT_NE(load->seed, 7u);
+  EXPECT_NE(eff.policy, "random:seed=7");
+  EXPECT_NE(eff.policy, "random:seed=" + std::to_string(load->seed));
+}
+
+TEST(SweepReplicate, DeterministicCellsAndReseedOffPassThrough) {
+  sweep sw;
+  sw.cells.push_back(base_cell(load::test_load::cl_250, "best_of_n"));
+  sw.cells.push_back(base_cell(
+      load_spec::parse("markov:count=10,p=0.7,seed=3"), "round_robin"));
+  sw.replications = 3;
+
+  // A deterministic cell replicates bit-identically.
+  EXPECT_EQ(cell_key(replicate(sw, 0, 0)), cell_key(sw.cells[0]));
+  EXPECT_EQ(cell_key(replicate(sw, 0, 2)), cell_key(sw.cells[0]));
+
+  // reseed = false runs even stochastic cells verbatim.
+  sw.reseed = false;
+  EXPECT_EQ(cell_key(replicate(sw, 1, 2)), cell_key(sw.cells[1]));
+}
+
+TEST(SweepReplicate, StochasticDetectsRandomLoadsAndPolicies) {
+  EXPECT_FALSE(stochastic(base_cell(load::test_load::cl_250, "best_of_n")));
+  EXPECT_TRUE(stochastic(base_cell(
+      load_spec::parse("random:count=10,p=0.5,seed=1"), "best_of_n")));
+  EXPECT_TRUE(
+      stochastic(base_cell(load::test_load::cl_250, "random:seed=3")));
+  // Unparseable policies are not stochastic; their error surfaces at
+  // run time instead.
+  EXPECT_FALSE(stochastic(base_cell(load::test_load::cl_250, ":=")));
+}
+
+TEST(SweepDeterminism, AggregatesByteIdenticalAcrossThreadCounts) {
+  const engine eng;
+  const sweep sw = random_grid(5);
+
+  std::vector<std::vector<cell_summary>> per_threads;
+  std::vector<sweep_stats> stats;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    summarize sink{sw};
+    stats.push_back(eng.run_sweep(sw, sink, threads));
+    per_threads.push_back(sink.cells());
+  }
+  for (std::size_t i = 1; i < per_threads.size(); ++i) {
+    EXPECT_EQ(per_threads[0], per_threads[i]);
+    EXPECT_EQ(stats[0], stats[i]);
+  }
+  for (const cell_summary& c : per_threads[0]) {
+    EXPECT_EQ(c.n, 5u) << c.label;
+    EXPECT_EQ(c.failures, 0u) << c.label;
+  }
+}
+
+TEST(SweepDeterminism, SinkSeesGridOrderUnderManyThreads) {
+  const engine eng;
+  const sweep sw = random_grid(3);
+  std::vector<std::pair<std::size_t, std::size_t>> order;
+  eng.run_sweep(
+      sw,
+      [&](const sweep_result& r) {
+        order.emplace_back(r.cell, r.replication);
+      },
+      8);
+  ASSERT_EQ(order.size(), sw.cells.size() * sw.replications);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i].first, i / sw.replications);
+    EXPECT_EQ(order[i].second, i % sw.replications);
+  }
+}
+
+TEST(SweepCache, DuplicateDeterministicCellsEvaluateOnce) {
+  const engine eng;
+  sweep sw;
+  // Three grid entries, two distinct: the duplicate pair plus every
+  // replication of each deterministic cell all hit the cache.
+  sw.cells.push_back(base_cell(load::test_load::ils_alt, "best_of_n"));
+  sw.cells.push_back(base_cell(load::test_load::cl_250, "round_robin"));
+  sw.cells.push_back(base_cell(load::test_load::ils_alt, "best_of_n"));
+  sw.replications = 10;
+
+  summarize sink{sw};
+  const sweep_stats stats = eng.run_sweep(sw, sink, 2);
+  EXPECT_EQ(stats.runs, 30u);
+  EXPECT_EQ(stats.evaluated, 2u);
+  EXPECT_EQ(stats.cache_hits, 28u);
+  EXPECT_EQ(stats.failures, 0u);
+
+  // Cell 0 evaluated its first replication; cell 2 is a pure replay.
+  EXPECT_EQ(sink.cells()[0].cache_hits, 9u);
+  EXPECT_EQ(sink.cells()[1].cache_hits, 9u);
+  EXPECT_EQ(sink.cells()[2].cache_hits, 10u);
+
+  // Replayed replications are bit-identical, so the spread collapses.
+  for (const cell_summary& c : sink.cells()) {
+    EXPECT_EQ(c.n, 10u);
+    EXPECT_EQ(c.min_min, c.max_min) << c.label;
+    EXPECT_EQ(c.stddev_min, 0.0) << c.label;
+  }
+  // And the duplicate cells agree exactly.
+  EXPECT_EQ(sink.cells()[0].mean_min, sink.cells()[2].mean_min);
+}
+
+TEST(SweepCache, RandomCellsGetFreshSeedsNotCacheHits) {
+  const engine eng;
+  sweep sw;
+  sw.cells.push_back(base_cell(
+      load_spec::parse("random:count=20,p=0.5,seed=1"), "round_robin"));
+  sw.replications = 8;
+  summarize sink{sw};
+  const sweep_stats stats = eng.run_sweep(sw, sink, 2);
+  // Every replication drew a distinct seed, so nothing could be cached…
+  EXPECT_EQ(stats.evaluated, 8u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  // …and the lifetimes actually vary across replications.
+  EXPECT_GT(sink.cells()[0].stddev_min, 0.0);
+  EXPECT_GT(sink.cells()[0].ci95_min, 0.0);
+}
+
+TEST(SweepStatistics, TenCellGridThirtyReplications) {
+  // The acceptance sweep: 10 stochastic cells x 30 replications, per-cell
+  // mean lifetime with a 95% CI.
+  const engine eng;
+  const sweep sw = random_grid(30);
+  ASSERT_EQ(sw.cells.size(), 10u);
+
+  summarize sink{sw};
+  const sweep_stats stats = eng.run_sweep(sw, sink);
+  EXPECT_EQ(stats.runs, 300u);
+  EXPECT_EQ(stats.failures, 0u);
+
+  for (const cell_summary& c : sink.cells()) {
+    EXPECT_EQ(c.n, 30u) << c.label;
+    EXPECT_EQ(c.failures, 0u) << c.label;
+    EXPECT_GT(c.mean_min, 0.0) << c.label;
+    EXPECT_LE(c.min_min, c.mean_min) << c.label;
+    EXPECT_GE(c.max_min, c.mean_min) << c.label;
+    // Random workloads spread: a real distribution with a finite CI.
+    EXPECT_GT(c.stddev_min, 0.0) << c.label;
+    EXPECT_GT(c.ci95_min, 0.0) << c.label;
+    EXPECT_NEAR(c.ci95_min,
+                1.959963984540054 * c.stddev_min / std::sqrt(30.0), 1e-12)
+        << c.label;
+    EXPECT_LT(c.ci95_min, c.stddev_min) << c.label;
+  }
+}
+
+TEST(SweepFailures, InvalidCellsAreIsolatedPerCell) {
+  const engine eng;
+  for (const std::size_t threads : {1u, 4u}) {
+    sweep sw;
+    sw.cells.push_back(base_cell(load::test_load::cl_250, "best_of_n"));
+    scenario empty_bank = base_cell(load::test_load::cl_250, "best_of_n");
+    empty_bank.batteries.clear();
+    sw.cells.push_back(empty_bank);
+    sw.cells.push_back(
+        base_cell(load::test_load::cl_250, "no_such_policy"));
+    sw.cells.push_back(base_cell(load::test_load::ils_alt, "round_robin"));
+    sw.replications = 3;
+
+    summarize sink{sw};
+    const sweep_stats stats = eng.run_sweep(sw, sink, threads);
+    EXPECT_EQ(stats.runs, 12u);
+    EXPECT_EQ(stats.failures, 6u);
+
+    EXPECT_EQ(sink.cells()[0].n, 3u);
+    EXPECT_EQ(sink.cells()[0].failures, 0u);
+    EXPECT_EQ(sink.cells()[1].n, 0u);
+    EXPECT_EQ(sink.cells()[1].failures, 3u);
+    EXPECT_EQ(sink.cells()[2].n, 0u);
+    EXPECT_EQ(sink.cells()[2].failures, 3u);
+    EXPECT_EQ(sink.cells()[3].n, 3u);
+    EXPECT_EQ(sink.cells()[3].failures, 0u);
+  }
+}
+
+TEST(SweepFailures, RunBatchSurfacesErrorsWithoutSinkingTheBatch) {
+  const engine eng;
+  scenario good = base_cell(load::test_load::cl_250, "best_of_n");
+  scenario empty_bank = good;
+  empty_bank.batteries.clear();
+  scenario bad_policy = good;
+  bad_policy.policy = "no_such_policy";
+  const std::vector<scenario> batch{good, empty_bank, bad_policy, good};
+
+  for (const std::size_t threads : {1u, 4u}) {
+    const std::vector<run_result> results = eng.run_batch(batch, threads);
+    ASSERT_EQ(results.size(), 4u);
+    EXPECT_TRUE(results[0].ok());
+    EXPECT_FALSE(results[1].ok());
+    EXPECT_NE(results[1].error.find("battery"), std::string::npos);
+    EXPECT_FALSE(results[2].ok());
+    EXPECT_NE(results[2].error.find("no_such_policy"), std::string::npos);
+    EXPECT_TRUE(results[3].ok());
+    EXPECT_EQ(results[0], results[3]);
+  }
+}
+
+TEST(SweepFailures, ThrowingSinkResurfacesOnCallingThread) {
+  // Sinks should not throw; if one does anyway, run_sweep must not
+  // std::terminate from a worker — the first exception resurfaces after
+  // the sweep drains, with no further deliveries.
+  const engine eng;
+  sweep sw;
+  sw.cells.push_back(base_cell(load::test_load::cl_250, "best_of_n"));
+  sw.cells.push_back(base_cell(load::test_load::ils_alt, "round_robin"));
+  sw.replications = 2;
+  for (const std::size_t threads : {1u, 4u}) {
+    std::size_t delivered = 0;
+    EXPECT_THROW(eng.run_sweep(
+                     sw,
+                     [&](const sweep_result&) {
+                       if (++delivered == 2) throw error{"sink broke"};
+                     },
+                     threads),
+                 error);
+    EXPECT_EQ(delivered, 2u);
+  }
+}
+
+TEST(SweepBatch, MatchesIndependentEngineRuns) {
+  // run_batch is now a collecting sink over run_sweep; it must still
+  // reproduce per-scenario engine::run bit-exactly, duplicates included.
+  const engine eng;
+  std::vector<scenario> batch;
+  batch.push_back(base_cell(load::test_load::ils_alt, "best_of_n"));
+  batch.push_back(base_cell(load::test_load::cl_alt, "opt"));
+  batch.push_back(base_cell(load::test_load::ils_alt, "best_of_n"));
+  batch.push_back(base_cell(
+      load_spec::parse("markov:count=15,p=0.7,seed=11"), "random:seed=42"));
+
+  const std::vector<run_result> results = eng.run_batch(batch, 2);
+  ASSERT_EQ(results.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(results[i], eng.run(batch[i])) << i;
+  }
+}
+
+TEST(SweepKey, DistinguishesEveryLifetimeRelevantField) {
+  const scenario base = base_cell(load::test_load::ils_alt, "best_of_n");
+  const std::string key = cell_key(base);
+
+  scenario other = base;
+  other.policy = "round_robin";
+  EXPECT_NE(cell_key(other), key);
+
+  other = base;
+  other.model = fidelity::continuous;
+  EXPECT_NE(cell_key(other), key);
+
+  other = base;
+  other.batteries.push_back(b1);
+  EXPECT_NE(cell_key(other), key);
+
+  other = base;
+  other.steps.time_step_min = 0.02;
+  EXPECT_NE(cell_key(other), key);
+
+  other = base;
+  other.sim.record_trace = true;
+  EXPECT_NE(cell_key(other), key);
+
+  other = base;
+  other.load = load::test_load::cl_250;
+  EXPECT_NE(cell_key(other), key);
+
+  // The display label is *not* part of the key: labelled duplicates of
+  // one cell still dedupe.
+  other = base;
+  other.label = "pretty name";
+  EXPECT_EQ(cell_key(other), key);
+}
+
+TEST(SweepSummarize, EmptySweepAndZeroReplicationsAreNoOps) {
+  const engine eng;
+  sweep sw;
+  summarize sink{sw};
+  EXPECT_EQ(eng.run_sweep(sw, sink, 4), sweep_stats{});
+
+  sw.cells.push_back(base_cell(load::test_load::cl_250, "best_of_n"));
+  sw.replications = 0;
+  summarize sink2{sw};
+  EXPECT_EQ(eng.run_sweep(sw, sink2, 4), sweep_stats{});
+  EXPECT_EQ(sink2.cells()[0].n, 0u);
+}
+
+}  // namespace
+}  // namespace bsched::api
