@@ -3,11 +3,12 @@
 // differences relative to round robin, for all ten test loads.
 //
 // The whole table is one declarative scenario sweep — ten loads x four
-// policy specs, with the optimal column resolved by the engine's exact
-// branch-and-bound "opt" policy (the same schedule space as the paper's
-// Cora run; tests/test_takibam.cpp cross-checks it against the PTA
-// engine) — streamed through api::engine::run_sweep, keeping only the
-// lifetime and search stats of each cell rather than full run_results.
+// policy specs, with the optimal column resolved by the registry's
+// model-aware exact branch-and-bound "opt" policy (the same schedule
+// space as the paper's Cora run; tests/test_takibam.cpp cross-checks it
+// against the PTA engine) — streamed through api::engine::run_sweep,
+// keeping only the lifetime and search stats of each cell rather than
+// full run_results.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -83,9 +84,9 @@ int main() {
   std::fputs(table.str().c_str(), stdout);
   std::printf(
       "\nAll forty cells ran as one streamed engine sweep; the optimal "
-      "column is\nthe exact search replayed through the registry's "
-      "fixed-schedule policy\n(%llu nodes, %llu memo hits, %llu pruned "
-      "across the ten loads,\nvia api::run_result::search).\n",
+      "column is\nthe registry's model-aware \"opt\" policy (exact "
+      "search at model-binding time,\n%llu nodes, %llu memo hits, %llu "
+      "pruned across the ten loads,\nvia api::run_result::search).\n",
       static_cast<unsigned long long>(effort.nodes),
       static_cast<unsigned long long>(effort.memo_hits),
       static_cast<unsigned long long>(effort.pruned));

@@ -34,13 +34,22 @@ run_release() {
     --no-tests=error --output-on-failure
   ctest --test-dir "$dir" -R Sweep --no-tests=error --output-on-failure \
     -j "$JOBS"
+  # The exact-search and rollout suites re-run optimized: the search
+  # golden regressions (Table 5 node counts, lookahead decision vectors)
+  # and the online-rollout hot path must hold under -O2, not just in the
+  # Debug flavour.
+  ctest --test-dir "$dir" -R "Opt|Lookahead" --no-tests=error \
+    --output-on-failure -j "$JOBS"
   # Smoke runs: the replicated-sweep example must agree across thread
   # counts (exits non-zero when the multi-threaded aggregates mismatch
-  # the single-threaded reference), Table 3 must render, and the
-  # microbenchmarks must run (quick settings — this guards against crashes
-  # and lets gross regressions show up in the CI log, not a perf gate).
+  # the single-threaded reference), Table 3 must render, the lookahead
+  # ablation must complete (exercising the rollout hot path end to end),
+  # and the microbenchmarks must run (quick settings — this guards
+  # against crashes and lets gross regressions show up in the CI log,
+  # not a perf gate).
   "$dir/scenario_sweep" --threads 4 --replications 10
   "$dir/bench_table3" > /dev/null
+  "$dir/bench_lookahead" > /dev/null
   if [ -x "$dir/bench_micro" ]; then
     "$dir/bench_micro" --benchmark_min_time=0.01
   else

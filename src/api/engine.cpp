@@ -4,101 +4,41 @@
 #include <atomic>
 #include <exception>
 #include <mutex>
-#include <optional>
 #include <thread>
 #include <unordered_map>
 
 #include "kibam/bank.hpp"
-#include "opt/lookahead.hpp"
 #include "util/error.hpp"
-#include "util/spec.hpp"
 
 namespace bsched::api {
 
 std::unique_ptr<sched::policy> engine::resolve_policy(
-    const scenario& scn, const load::trace& trace, run_result* out,
-    const kibam::bank* bank) const {
-  require(!scn.batteries.empty(), "engine: scenario needs >= 1 battery");
-  const auto resolved = [&](std::unique_ptr<sched::policy> pol,
-                            const std::string& display) {
-    if (out != nullptr) out->policy_name = display;
-    return pol;
-  };
-  // The search-derived policies must replay on the same (discrete) model
-  // they were computed on: the continuous simulator's hand-overs fall at
-  // different instants, so a discrete decision list would silently degrade
-  // to its best-of-n fallback (or pick a dead battery) mid-replay. Banks
-  // may be heterogeneous — the search runs on the scenario's own bank,
-  // shared with the replay when the caller (engine::run) passes it in.
-  std::optional<kibam::bank> owned;
-  const auto search_bank = [&](const std::string& policy)
-      -> const kibam::bank& {
-    require(scn.model == fidelity::discrete,
-            "engine: policy '" + policy +
-                "' is computed on the discrete grid and requires discrete "
-                "fidelity");
-    if (bank != nullptr) return *bank;
-    if (!owned) owned.emplace(scn.batteries, scn.steps);
-    return *owned;
-  };
-  const spec s = parse_spec(scn.policy);
-  // Registry entries win over the engine-level names, so a custom
-  // registration of e.g. "opt" is honoured rather than shadowed.
-  if (opts_.policies.contains(s.name)) {
-    auto pol = opts_.policies.make(s);
-    const std::string display = pol->name();
-    return resolved(std::move(pol), display);
-  }
-  if (s.name == "opt" || s.name == "worst") {
-    s.require_only({});
-    const kibam::bank& b = search_bank(s.name);
-    const opt::optimal_result sched =
-        s.name == "opt" ? opt::optimal_schedule(b, trace, opts_.search)
-                        : opt::worst_schedule(b, trace, opts_.search);
-    if (out != nullptr) out->search = sched.stats;
-    return resolved(opts_.policies.make(sched::fixed_spec(sched.decisions)),
-                    s.name);
-  }
-  if (s.name == "lookahead") {
-    s.require_only({"horizon"});
-    const kibam::bank& b = search_bank(s.name);
-    const opt::lookahead_result sched =
-        opt::lookahead_schedule(b, trace, s.get_u64("horizon", 4));
-    if (out != nullptr) out->search = sched.stats;
-    return resolved(opts_.policies.make(sched::fixed_spec(sched.decisions)),
-                    s.name);
-  }
-  // Surfaces the registry's unknown-name error.
-  return resolved(opts_.policies.make(s), s.name);
-}
-
-std::unique_ptr<sched::policy> engine::resolve_policy(
     const scenario& scn) const {
-  return resolve_policy(scn, scn.load.materialize(), nullptr, nullptr);
+  return opts_.policies.make(scn.policy);
 }
 
 run_result engine::run(const scenario& scn) const {
   require(!scn.batteries.empty(), "engine: scenario needs >= 1 battery");
   const load::trace trace = scn.load.materialize();
+  const std::unique_ptr<sched::policy> pol = resolve_policy(scn);
   run_result out;
+  // The simulator core binds the policy to the run's model (bank +
+  // forecast) before stepping, so a model-aware policy — exact search,
+  // online lookahead, custom registrations — plans against exactly the
+  // state representation the run advances.
   switch (scn.model) {
-    case fidelity::discrete: {
-      // One bank for the scenario: the search (if any) and the replay
-      // advance the same per-battery discretizations.
-      const kibam::bank bank{scn.batteries, scn.steps};
-      const std::unique_ptr<sched::policy> pol =
-          resolve_policy(scn, trace, &out, &bank);
-      out.sim = sched::simulate_discrete(bank, trace, *pol, scn.sim);
+    case fidelity::discrete:
+      out.sim = sched::simulate_discrete(kibam::bank{scn.batteries,
+                                                     scn.steps},
+                                         trace, *pol, scn.sim);
       break;
-    }
-    case fidelity::continuous: {
-      const std::unique_ptr<sched::policy> pol =
-          resolve_policy(scn, trace, &out, nullptr);
+    case fidelity::continuous:
       out.sim = sched::simulate_continuous(scn.batteries, trace, *pol,
                                            scn.sim);
       break;
-    }
   }
+  out.policy_name = pol->name();
+  out.search = pol->stats();
   return out;
 }
 
@@ -120,6 +60,11 @@ sweep_stats engine::run_sweep(const sweep& sw, result_sink& sink,
   std::vector<std::size_t> last_item;   // after it, the result is dropped
   std::vector<scenario> jobs;
   {
+    // Load groups once for the whole grid, so pair_by_load replication
+    // does not rescan the cells per (cell, replication).
+    const std::vector<std::size_t> groups =
+        sw.reseed && sw.pair_by_load ? load_groups(sw)
+                                     : std::vector<std::size_t>{};
     std::unordered_map<std::string, std::size_t> index;
     for (std::size_t cell = 0; cell < sw.cells.size(); ++cell) {
       const bool varies = sw.reseed && stochastic(sw.cells[cell]);
@@ -130,7 +75,9 @@ sweep_stats engine::run_sweep(const sweep& sw, result_sink& sink,
         if (repeated_job != none) {
           job = repeated_job;
         } else if (varies) {
-          scenario eff = replicate(sw, cell, rep);
+          scenario eff = groups.empty()
+                             ? replicate(sw, cell, rep)
+                             : replicate(sw, cell, rep, groups);
           const auto [it, inserted] =
               index.try_emplace(cell_key(eff), jobs.size());
           if (inserted) {
@@ -260,9 +207,6 @@ std::vector<run_result> engine::run_batch(std::span<const scenario> scenarios,
 
 std::vector<std::string> engine::policy_names() const {
   std::vector<std::string> out = opts_.policies.names();
-  for (const char* name : {"lookahead", "opt", "worst"}) {
-    if (!opts_.policies.contains(name)) out.emplace_back(name);
-  }
   std::sort(out.begin(), out.end());
   return out;
 }

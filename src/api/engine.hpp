@@ -1,18 +1,17 @@
 // The scenario engine: turns declarative scenarios into simulation runs,
 // single or batched across a worker pool.
 //
-// Policies are resolved through the string registry (sched/registry.hpp);
-// on top of the registry names the engine provides the search-derived
-// schedules, which need the scenario's own model and load to compute:
-//   "opt"                  — the exact maximum-lifetime schedule,
-//   "worst"                — the exact minimum (sequential's twin),
-//   "lookahead:horizon=N"  — the rollout scheduler of opt/lookahead.hpp.
-// All three run on the scenario's kibam::bank — heterogeneous banks
-// included — precompute their decision list on the discrete grid and
-// replay it through a registry-built "fixed:decisions=..." policy; they
-// require discrete fidelity (a discrete schedule replayed continuously
-// would silently diverge at hand-overs). Their search statistics are
-// reported in run_result::search.
+// Every policy — blind and model-aware alike — resolves through the
+// string registry (sched/registry.hpp); the engine's default registry is
+// opt::model_registry(), so "opt", "worst" and "lookahead:horizon=N" are
+// ordinary entries next to "best_of_n" or "random:seed=N". Model-aware
+// policies receive the scenario's bank model and load forecast through
+// the binding hook the simulator core invokes once per run
+// (sched::policy::bind_model); the exact schedules plan there (and
+// reject continuous fidelity), while "lookahead" plans online at each
+// decision through the backend's model_view — so it runs under random
+// loads and at either fidelity. Planning statistics are reported in
+// run_result::search for all of them.
 //
 // `run_sweep` evaluates a replicated scenario grid (api/sweep.hpp) on
 // `n_threads` workers, streaming every completed run_result through a
@@ -34,18 +33,20 @@
 #include "api/scenario.hpp"
 #include "api/sweep.hpp"
 #include "kibam/bank.hpp"
-#include "opt/search.hpp"
+#include "opt/policies.hpp"
 #include "sched/registry.hpp"
 #include "sched/simulator.hpp"
 
 namespace bsched::api {
 
 struct engine_options {
-  /// Policy name resolution; extend a copy of the built-ins to register
-  /// custom policies.
-  sched::registry policies = sched::registry::built_in();
-  /// Options for the exact search behind "opt" / "worst".
-  opt::search_options search{};
+  /// Policy name resolution; extend a copy to register custom policies.
+  /// The default includes the model-aware "opt" / "worst" /
+  /// "lookahead:horizon=N" next to the blind built-ins; pass
+  /// opt::model_registry(custom_search_options) to change the exact
+  /// search's defaults (spec parameters like "opt:max_nodes=N" override
+  /// per scenario).
+  sched::registry policies = opt::model_registry();
 };
 
 class engine {
@@ -82,24 +83,17 @@ class engine {
   [[nodiscard]] std::vector<run_result> run_batch(
       std::span<const scenario> scenarios, std::size_t n_threads = 0) const;
 
-  /// Resolves a scenario's policy spec: registry names plus the
-  /// engine-level "opt" / "worst" / "lookahead:horizon=N". Registry
-  /// entries take precedence, so custom registrations are never shadowed.
+  /// Builds a scenario's policy from the registry. The policy is not yet
+  /// bound to a model — the simulator core invokes its binding hook when
+  /// a run starts (so a model-aware policy built here plans only once it
+  /// actually runs).
   [[nodiscard]] std::unique_ptr<sched::policy> resolve_policy(
       const scenario& scn) const;
 
-  /// Registry plus engine-resolved names, sorted.
+  /// All registered policy names, sorted.
   [[nodiscard]] std::vector<std::string> policy_names() const;
 
  private:
-  /// `out` (optional) receives the display name (run_result::policy_name)
-  /// and, for the search-derived policies, the search statistics. `bank`
-  /// (optional) is the caller's already-built bank for the scenario, so
-  /// search and replay share one; built on demand when null.
-  [[nodiscard]] std::unique_ptr<sched::policy> resolve_policy(
-      const scenario& scn, const load::trace& trace, run_result* out,
-      const kibam::bank* bank) const;
-
   engine_options opts_;
 };
 

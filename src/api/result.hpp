@@ -12,13 +12,13 @@ namespace bsched::api {
 /// Outcome of one scenario.
 struct run_result {
   sched::sim_result sim;
-  /// Display name of the policy that ran (policy::name()); for the
-  /// engine-derived schedules, the requested name ("opt", "worst",
-  /// "lookahead") rather than the "fixed schedule" replay vehicle.
+  /// Display name of the policy that ran (policy::name()), e.g.
+  /// "best-of-n", "opt", "lookahead".
   std::string policy_name;
-  /// Statistics of the search (nodes, memo hits, pruned, memo entries) or
-  /// rollout (rollouts) behind an engine-derived schedule; all-zero for
-  /// plain registry policies.
+  /// Planning statistics the policy reported (policy::stats()): exact
+  /// search effort (nodes, memo hits, pruned, memo entries, evictions)
+  /// or rollout counts for the model-aware policies; all-zero for blind
+  /// ones.
   opt::search_stats search;
   /// Empty on success. `engine::run` throws instead; `run_batch` and
   /// `run_sweep` capture per-scenario failures here so one bad scenario

@@ -96,8 +96,9 @@ struct scenario {
   /// Possibly heterogeneous battery bank; must be non-empty.
   std::vector<kibam::battery_parameters> batteries;
   load_spec load;
-  /// Policy spec resolved through sched::registry, plus the engine-level
-  /// names "opt", "worst" and "lookahead:horizon=N" (see engine.hpp).
+  /// Policy spec resolved through the engine's sched::registry; the
+  /// default registry includes the model-aware "opt", "worst" and
+  /// "lookahead:horizon=N" (see engine.hpp / opt/policies.hpp).
   std::string policy = "best_of_n";
   fidelity model = fidelity::discrete;
   /// Discretization grid (discrete fidelity only).

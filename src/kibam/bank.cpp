@@ -31,6 +31,19 @@ std::vector<discrete_state> bank::full_states() const {
   return out;
 }
 
+step_event bank::step_all(std::vector<discrete_state>& states,
+                          std::size_t active,
+                          const load::draw_rate& rate) const {
+  step_event ev = step_event::none;
+  for (std::size_t b = 0; b < states.size(); ++b) {
+    const step_event e_b =
+        step(discs_[type_of_[b]], states[b],
+             b == active ? rate : load::draw_rate{0, 0});
+    if (b == active) ev = e_b;
+  }
+  return ev;
+}
+
 std::int64_t bank::total_units() const {
   std::int64_t sum = 0;
   for (const std::size_t t : type_of_) sum += discs_[t].total_units();

@@ -61,8 +61,21 @@ class bank {
     return discs_.front().steps();
   }
 
-  /// A freshly charged state per battery.
+  /// A freshly charged state per battery — also the cheap snapshot format
+  /// for rollouts: copy the vector, step the copy, drop it to restore.
   [[nodiscard]] std::vector<discrete_state> full_states() const;
+
+  /// No battery serves (all rest/recover) this step.
+  static constexpr std::size_t idle = static_cast<std::size_t>(-1);
+
+  /// Advances every battery of `states` by one time step: battery
+  /// `active` draws at `rate`, every other battery rests (recovers).
+  /// Returns the active battery's step event (`none` when idle). The
+  /// simulator, the exact search and the rollout scheduler all step
+  /// through here, so the three advance bit-identical per-battery state.
+  step_event step_all(std::vector<discrete_state>& states,
+                      std::size_t active = idle,
+                      const load::draw_rate& rate = {0, 0}) const;
 
   /// Total capacity of the bank in charge units (sum of per-battery N).
   [[nodiscard]] std::int64_t total_units() const;

@@ -1,203 +1,26 @@
 #include "opt/lookahead.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <optional>
-#include <tuple>
+#include <memory>
 
-#include "util/error.hpp"
+#include "opt/policies.hpp"
+#include "sched/simulator.hpp"
 
 namespace bsched::opt {
-
-namespace {
-
-using bats_t = std::vector<kibam::discrete_state>;
-
-std::int64_t epoch_steps(const load::epoch& e, const load::step_sizes& s) {
-  return std::llround(e.duration_min / s.time_step_min);
-}
-
-bool all_empty(const bats_t& bats) {
-  return std::ranges::all_of(bats, [](const auto& b) { return b.empty; });
-}
-
-/// Greedy tie-broken choice: the alive battery with the most available
-/// charge (the best-of-N rule the rollout tail uses). Permille values are
-/// comparable across types because the bank shares one charge unit.
-std::optional<std::size_t> greedy_choice(const kibam::bank& bank,
-                                         const bats_t& bats) {
-  std::optional<std::size_t> best;
-  for (std::size_t i = 0; i < bats.size(); ++i) {
-    if (bats[i].empty) continue;
-    if (!best ||
-        bank.disc(i).available_permille(bats[i].n, bats[i].m) >
-            bank.disc(*best).available_permille(bats[*best].n,
-                                                bats[*best].m)) {
-      best = i;
-    }
-  }
-  return best;
-}
-
-/// Simulates one job epoch with `active` serving; hand-overs fall to the
-/// greedy rule. Returns the steps consumed and whether the system died.
-struct segment_outcome {
-  std::int64_t steps = 0;
-  bool died = false;
-};
-
-segment_outcome run_job(const kibam::bank& bank, bats_t& bats,
-                        const load::epoch& e, std::size_t active,
-                        std::vector<std::size_t>* handovers = nullptr) {
-  const load::draw_rate rate = load::rate_for(e.current_a, bank.steps());
-  const std::int64_t total = epoch_steps(e, bank.steps());
-  bats[active].discharge_elapsed = 0;
-  segment_outcome out;
-  for (std::int64_t i = 0; i < total; ++i) {
-    ++out.steps;
-    kibam::step_event ev = kibam::step_event::none;
-    for (std::size_t b = 0; b < bats.size(); ++b) {
-      const auto e_b = kibam::step(
-          bank.disc(b), bats[b], b == active ? rate : load::draw_rate{0, 0});
-      if (b == active) ev = e_b;
-    }
-    if (ev == kibam::step_event::died) {
-      const auto next = greedy_choice(bank, bats);
-      if (!next) {
-        out.died = true;
-        return out;
-      }
-      active = *next;
-      bats[active].discharge_elapsed = 0;
-      if (handovers != nullptr) handovers->push_back(active);
-    }
-  }
-  return out;
-}
-
-void run_idle(const kibam::bank& bank, bats_t& bats, std::int64_t steps) {
-  for (std::int64_t i = 0; i < steps; ++i) {
-    for (std::size_t b = 0; b < bats.size(); ++b) {
-      kibam::step(bank.disc(b), bats[b], {0, 0});
-    }
-  }
-}
-
-/// Rolls out: the candidate job, then `horizon` more jobs greedily.
-/// Returns (steps survived within the rollout, died?, health) where
-/// health is the *minimum* available charge across alive batteries — a
-/// balance-seeking tie-break (maximising the total instead can prefer
-/// deep-draining one battery, which collapses into sequential discharge).
-struct rollout_score {
-  std::int64_t steps = 0;
-  bool died = false;
-  std::int64_t health = 0;
-
-  /// True when this score is strictly preferable to `other`.
-  [[nodiscard]] bool better_than(const rollout_score& other) const {
-    if (died != other.died) return !died;
-    if (died) return steps > other.steps;  // both died: survive longer
-    if (health != other.health) return health > other.health;
-    return false;
-  }
-};
-
-rollout_score rollout(const kibam::bank& bank, bats_t bats,
-                      const load::trace& load, std::size_t epoch,
-                      std::size_t candidate, std::size_t horizon) {
-  rollout_score score;
-  std::size_t jobs_done = 0;
-  std::optional<std::size_t> choice = candidate;
-  while (true) {
-    const load::epoch& e = load.at(epoch);
-    if (e.current_a <= 0) {
-      const std::int64_t steps = epoch_steps(e, bank.steps());
-      run_idle(bank, bats, steps);
-      score.steps += steps;
-      ++epoch;
-      continue;
-    }
-    if (!choice) choice = greedy_choice(bank, bats);
-    BSCHED_ASSERT(choice.has_value());
-    const segment_outcome seg = run_job(bank, bats, e, *choice);
-    score.steps += seg.steps;
-    if (seg.died) {
-      score.died = true;
-      return score;
-    }
-    choice.reset();
-    ++jobs_done;
-    ++epoch;
-    if (jobs_done > horizon) break;
-  }
-  bool first = true;
-  for (std::size_t b = 0; b < bats.size(); ++b) {
-    if (bats[b].empty) continue;
-    const std::int64_t avail =
-        bank.disc(b).available_permille(bats[b].n, bats[b].m);
-    score.health = first ? avail : std::min(score.health, avail);
-    first = false;
-  }
-  return score;
-}
-
-}  // namespace
 
 lookahead_result lookahead_schedule(const kibam::bank& bank,
                                     const load::trace& load,
                                     std::size_t horizon_jobs) {
+  const std::unique_ptr<sched::policy> pol = lookahead_policy(horizon_jobs);
+  const sched::sim_result sim =
+      sched::simulate_discrete(bank, load, *pol);
   lookahead_result out;
-  bats_t bats = bank.full_states();
-  std::size_t epoch = 0;
-  std::int64_t steps = 0;
-
-  while (true) {
-    const load::epoch& e = load.at(epoch);
-    if (e.current_a <= 0) {
-      const std::int64_t len = epoch_steps(e, bank.steps());
-      run_idle(bank, bats, len);
-      steps += len;
-      ++epoch;
-      continue;
-    }
-    // Score every distinct alive candidate by rollout. Candidates are
-    // interchangeable when they agree on type, charge counters and the
-    // recovery timer (whose pending tick can flip which twin survives
-    // longer); the discharge clock is reset on activation, so it is
-    // excluded — same notion of interchangeability as the exact search.
-    std::optional<std::size_t> best;
-    rollout_score best_score;
-    using sig_t =
-        std::tuple<std::size_t, std::int64_t, std::int64_t, std::int64_t>;
-    std::vector<sig_t> tried;
-    for (std::size_t c = 0; c < bats.size(); ++c) {
-      if (bats[c].empty) continue;
-      const sig_t sig{bank.type_of(c), bats[c].n, bats[c].m,
-                      bats[c].recovery_elapsed};
-      if (std::ranges::find(tried, sig) != tried.end()) continue;
-      tried.push_back(sig);
-      const rollout_score score =
-          rollout(bank, bats, load, epoch, c, horizon_jobs);
-      ++out.stats.rollouts;
-      if (!best || score.better_than(best_score)) {
-        best = c;
-        best_score = score;
-      }
-    }
-    BSCHED_ASSERT(best.has_value());
-    out.decisions.push_back(*best);
-    const segment_outcome seg =
-        run_job(bank, bats, e, *best, &out.decisions);
-    steps += seg.steps;
-    if (seg.died && all_empty(bats)) {
-      out.lifetime_min =
-          static_cast<double>(steps) * bank.steps().time_step_min;
-      return out;
-    }
-    ++epoch;
-    require(steps < (std::int64_t{1} << 40),
-            "lookahead: system never exhausts the batteries");
+  out.lifetime_min = sim.lifetime_min;
+  out.decisions.reserve(sim.decisions.size());
+  for (const sched::decision& d : sim.decisions) {
+    out.decisions.push_back(d.battery);
   }
+  out.stats = pol->stats();
+  return out;
 }
 
 lookahead_result lookahead_schedule(const kibam::discretization& disc,

@@ -10,8 +10,10 @@
 // longest. horizon 0 degenerates to greedy; growing horizons approach the
 // optimum at linear (not exponential) cost.
 //
-// Like the exact search, the rollout runs on a kibam::bank, so mixed
-// capacities and parameters are fine as long as they share one grid.
+// Since the model-aware policy layer (policies.hpp), the scheduler itself
+// is the registry policy "lookahead:horizon=N" deciding online through
+// the simulator's model_view — these functions are the convenience
+// batch form: one call, full discrete run, decision list out.
 #pragma once
 
 #include <cstdint>
@@ -30,9 +32,9 @@ struct lookahead_result {
   search_stats stats;                  ///< Only `rollouts` is populated.
 };
 
-/// Runs the rollout scheduler over the (possibly heterogeneous) bank.
-/// `horizon_jobs` is the number of *additional* jobs simulated beyond the
-/// one being scheduled.
+/// Runs the online rollout scheduler over the (possibly heterogeneous)
+/// bank at discrete fidelity. `horizon_jobs` is the number of
+/// *additional* jobs simulated beyond the one being scheduled.
 [[nodiscard]] lookahead_result lookahead_schedule(const kibam::bank& bank,
                                                   const load::trace& load,
                                                   std::size_t horizon_jobs);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <limits>
 #include <unordered_map>
 #include <utility>
@@ -66,6 +67,23 @@ class searcher {
       }
     }
     group_begin_.push_back(group_order_.size());
+    // The per-battery c-fraction bound only tightens asymmetric banks;
+    // homogeneous banks keep the historic summed-units bound so the
+    // published Table 5 node counts stay bit-identical.
+    tight_bound_ = !minimize_ && opts_.prune && opts_.per_battery_bound &&
+                   bank_.type_count() > 1;
+    if (tight_bound_) {
+      const auto scan = [&](const std::vector<load::epoch>& epochs) {
+        for (const load::epoch& e : epochs) {
+          if (e.current_a <= 0) continue;
+          max_draw_units_ = std::max(
+              max_draw_units_,
+              load::rate_for(e.current_a, bank_.steps()).units);
+        }
+      };
+      scan(load_.prefix());
+      scan(load_.cycle());
+    }
   }
 
   optimal_result run() {
@@ -102,11 +120,7 @@ class searcher {
     while (load_.at(epoch).current_a <= 0) {
       const std::int64_t steps =
           epoch_steps(load_.at(epoch), bank_.steps());
-      for (std::int64_t i = 0; i < steps; ++i) {
-        for (std::size_t b = 0; b < bats.size(); ++b) {
-          kibam::step(bank_.disc(b), bats[b], {0, 0});
-        }
-      }
+      for (std::int64_t i = 0; i < steps; ++i) bank_.step_all(bats);
       consumed += steps;
       ++epoch;
     }
@@ -164,8 +178,24 @@ class searcher {
       best = minimize_ ? std::min(best, v) : std::max(best, v);
     }
     BSCHED_ASSERT(best >= 0 && best < k_inf);
-    memo_.emplace(std::move(key), best);
+    memoise(std::move(key), best);
     return best;
+  }
+
+  /// Inserts a memo entry, evicting the oldest one (deterministic FIFO)
+  /// when the transposition table has reached its size cap. Evictions
+  /// only cost re-expansion: memoised values are exact, so recomputing a
+  /// dropped subtree reproduces the same value.
+  void memoise(std::vector<std::uint64_t> key, std::int64_t value) {
+    const auto [it, inserted] = memo_.emplace(std::move(key), value);
+    if (!inserted) return;  // re-walks may revisit a live entry
+    if (opts_.max_memo_entries == 0) return;  // unbounded: no bookkeeping
+    fifo_.push_back(&it->first);
+    if (memo_.size() > opts_.max_memo_entries) {
+      memo_.erase(*fifo_.front());
+      fifo_.pop_front();
+      ++stats_.memo_evictions;
+    }
   }
 
   /// Simulates job epoch `epoch` from step `offset` with `active` serving.
@@ -182,14 +212,9 @@ class searcher {
     std::int64_t local = 0;
     for (std::int64_t i = offset; i < total; ++i) {
       ++local;
-      kibam::step_event ev = kibam::step_event::none;
-      for (std::size_t b = 0; b < bats.size(); ++b) {
-        const auto e_b = kibam::step(bank_.disc(b), bats[b],
-                                     b == active ? rate
-                                                 : load::draw_rate{0, 0});
-        if (b == active) ev = e_b;
+      if (bank_.step_all(bats, active, rate) != kibam::step_event::died) {
+        continue;
       }
-      if (ev != kibam::step_event::died) continue;
       const bool all_empty = std::ranges::all_of(
           bats, [](const auto& b) { return b.empty; });
       if (all_empty) return local;
@@ -218,8 +243,12 @@ class searcher {
 
     if (!minimize_ && opts_.prune) {
       std::int64_t alive_units = 0;
-      for (const auto& b : bats) {
-        if (!b.empty) alive_units += b.n;
+      for (std::size_t b = 0; b < bats.size(); ++b) {
+        if (bats[b].empty) continue;
+        alive_units += tight_bound_ ? deliverable_units(bank_.disc(b),
+                                                        bats[b].n,
+                                                        max_draw_units_)
+                                    : bats[b].n;
       }
       const std::int64_t upper = consumed + bound(next, alive_units);
       if (upper <= prune_below) {
@@ -272,14 +301,9 @@ class searcher {
     std::int64_t local = 0;
     for (std::int64_t i = offset; i < total; ++i) {
       ++local;
-      kibam::step_event ev = kibam::step_event::none;
-      for (std::size_t b = 0; b < bats.size(); ++b) {
-        const auto e_b = kibam::step(bank_.disc(b), bats[b],
-                                     b == active ? rate
-                                                 : load::draw_rate{0, 0});
-        if (b == active) ev = e_b;
+      if (bank_.step_all(bats, active, rate) != kibam::step_event::died) {
+        continue;
       }
-      if (ev != kibam::step_event::died) continue;
       if (std::ranges::all_of(bats, [](const auto& b) { return b.empty; })) {
         return {local, true, epoch};
       }
@@ -314,9 +338,14 @@ class searcher {
   const load::trace& load_;
   search_options opts_;
   bool minimize_;
+  bool tight_bound_ = false;      ///< Per-battery bound (mixed banks only).
+  std::int64_t max_draw_units_ = 1;  ///< Largest single draw in the load.
   std::vector<std::size_t> group_order_;  ///< Battery indices, grouped by type.
   std::vector<std::size_t> group_begin_;  ///< Group offsets into group_order_.
   std::unordered_map<std::vector<std::uint64_t>, std::int64_t, vec_hash> memo_;
+  /// Memo keys in insertion order, for FIFO eviction under the size cap
+  /// (key storage is stable under rehashing, so the pointers hold).
+  std::deque<const std::vector<std::uint64_t>*> fifo_;
   search_stats stats_;
 };
 
@@ -353,6 +382,23 @@ std::int64_t drain_bound_steps(const load::step_sizes& steps,
     return total_steps + needed_draws * rate.steps;
   }
   throw error("drain_bound_steps: load drains too slowly to bound");
+}
+
+std::int64_t deliverable_units(const kibam::discretization& d, std::int64_t n,
+                               std::int64_t max_draw_units) {
+  require(n >= 0, "deliverable_units: negative charge");
+  require(max_draw_units >= 1, "deliverable_units: draws deliver >= 1 unit");
+  const std::int64_t c = d.c_permille();
+  // Every draw of u units lowers the available charge by 1000 u permille
+  // (c u directly, (1000 - c) u through the height difference) while a
+  // recovery tick returns only (1000 - c); since recovered height was
+  // first raised by a draw already counted, the battery is still alive
+  // before its final draw only while c * delivered < c * n - (1000 - c).
+  // That strands ceil((1000 - c + 1) / c) units minus the final draw,
+  // whatever the recovery schedule — an admissible per-battery cap.
+  const std::int64_t before_final = c * n - (1000 - c) - 1;
+  if (before_final < 0) return std::min(n, max_draw_units);
+  return std::min(n, before_final / c + max_draw_units);
 }
 
 optimal_result optimal_schedule(const kibam::bank& bank,

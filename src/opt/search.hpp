@@ -26,25 +26,32 @@
 #include "kibam/bank.hpp"
 #include "kibam/discrete.hpp"
 #include "load/trace.hpp"
+#include "sched/policy.hpp"
 
 namespace bsched::opt {
 
 struct search_options {
   bool prune = true;            ///< Enable the admissible drain bound.
   std::uint64_t max_nodes = 200'000'000;  ///< Safety valve; throws beyond.
+  /// Transposition-table size cap; 0 = unbounded. When the memo reaches
+  /// the cap the oldest entry is evicted (deterministic FIFO), so large
+  /// mixed banks cannot grow it without bound. Evicted subtrees may be
+  /// re-expanded (more nodes, identical exact results); evictions are
+  /// counted in search_stats::memo_evictions.
+  std::uint64_t max_memo_entries = 0;
+  /// Tighten the drain bound on heterogeneous banks with per-battery
+  /// available-charge (c-fraction) limits — see deliverable_units.
+  /// Homogeneous banks always use the historic summed-units bound, so
+  /// the published Table 5 node counts stay bit-identical.
+  bool per_battery_bound = true;
 };
 
 /// Statistics of one search or rollout run; surfaced unchanged through
 /// api::run_result so clients never need to call into opt:: for them.
-struct search_stats {
-  std::uint64_t nodes = 0;      ///< Decision nodes expanded.
-  std::uint64_t memo_hits = 0;
-  std::uint64_t pruned = 0;     ///< Children skipped by the drain bound.
-  std::uint64_t memo_entries = 0;
-  std::uint64_t rollouts = 0;   ///< Candidate futures simulated (lookahead).
-
-  friend bool operator==(const search_stats&, const search_stats&) = default;
-};
+/// (The struct itself lives in sched/policy.hpp so any sched::policy —
+/// in particular the model-aware ones of opt/policies.hpp — can report
+/// planning effort without depending on this layer.)
+using search_stats = sched::search_stats;
 
 struct optimal_result {
   double lifetime_min = 0;
@@ -73,6 +80,20 @@ struct optimal_result {
                                              const load::trace& load,
                                              std::size_t epoch_index,
                                              std::int64_t alive_units);
+
+/// Admissible per-battery cap on the charge units a battery with `n`
+/// remaining units can ever deliver, given that single draws never exceed
+/// `max_draw_units`. A KiBaM battery is observed empty while still
+/// holding bound charge: every unit drawn raises the height difference,
+/// and the empty criterion (1000 - c) m >= c n strands at least
+/// ceil((1000 - c + 1) / c) units at death (minus one final draw of at
+/// most `max_draw_units`), whatever the recovery schedule. Feeding the
+/// sum of these caps to drain_bound_steps instead of the plain sum of n
+/// tightens the bound; the search applies this to heterogeneous banks
+/// (see search_options::per_battery_bound). Exposed for property tests.
+[[nodiscard]] std::int64_t deliverable_units(const kibam::discretization& d,
+                                             std::int64_t n,
+                                             std::int64_t max_draw_units);
 
 /// Minimum-lifetime schedule (same search, minimising): used to verify the
 /// paper's claim that sequential discharge is the worst possible schedule.

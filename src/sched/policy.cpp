@@ -49,14 +49,7 @@ class round_robin_policy final : public policy {
 class best_of_n_policy final : public policy {
  public:
   std::size_t choose(const decision_context& ctx) override {
-    std::optional<std::size_t> best;
-    for (const battery_view& b : ctx.batteries) {
-      if (b.empty) continue;
-      if (!best ||
-          b.available_amin > ctx.batteries[*best].available_amin) {
-        best = b.index;
-      }
-    }
+    const auto best = greedy_choice(ctx.batteries);
     require(best.has_value(), "best-of-n: all batteries empty");
     return *best;
   }
@@ -124,6 +117,18 @@ class fixed_schedule_policy final : public policy {
 };
 
 }  // namespace
+
+std::optional<std::size_t> greedy_choice(
+    std::span<const battery_view> batteries) {
+  std::optional<std::size_t> best;
+  for (const battery_view& b : batteries) {
+    if (b.empty) continue;
+    if (!best || b.available_amin > batteries[*best].available_amin) {
+      best = b.index;
+    }
+  }
+  return best;
+}
 
 std::unique_ptr<policy> sequential() {
   return std::make_unique<sequential_policy>();

@@ -3,8 +3,8 @@
 // ("best_of_n", "random:seed=42", "fixed:decisions=0-1-0-1") instead of
 // hand-wired factory calls. The built-in names cover everything in
 // policy.hpp; extra factories can be registered on a copy of the built-in
-// registry (api::engine resolves the search-derived names "opt", "worst"
-// and "lookahead" on top of this).
+// registry — opt::register_model_policies adds the model-aware "opt",
+// "worst" and "lookahead:horizon=N" this way (api::engine's default).
 #pragma once
 
 #include <functional>

@@ -31,22 +31,29 @@ enum class serve_event {
 // A Model owns the bank state and all time advancement; the core owns the
 // scheduling protocol: walk epochs, consult the policy at every `new_job`
 // event (job starts and mid-job hand-overs), record decisions and detect
-// system death. A Model provides:
-//   bind(sim_result&)        — where trace points and totals are written;
+// system death. A Model derives from sched::model_view (its decision-time
+// rollout window, handed to the policy in the decision context) and
+// provides:
+//   attach(sim_result&, trace&) — result/forecast wiring at run start;
+//   info()                   — the model_info for the policy binding hook;
 //   now()                    — absolute time in minutes;
 //   views()                  — one battery_view per battery;
 //   record_initial()         — the t = 0 trace sample;
 //   idle(epoch)              — advance through an idle epoch;
-//   begin_epoch(epoch)       — stage a job epoch for serving;
+//   begin_epoch(epoch, index) — stage job epoch `index` for serving;
 //   begin_service(active)    — a battery was put on (job start or hand-over);
 //   serve(active)            — advance until the epoch ends or `active` dies;
 //   finish(last_active)      — fill lifetime/residual at system death.
 template <class Model>
 sim_result run_simulation(Model& model, const load::trace& load, policy& pol,
                           const sim_options& opts) {
-  pol.reset();
   sim_result res;
-  model.bind(res);
+  model.attach(res, load);
+  // The model-binding hook: exactly once per run, before reset. A
+  // model-aware policy may plan here (the exact search does) or reject
+  // the fidelity; blind policies ignore it.
+  pol.bind_model(model.info());
+  pol.reset();
 
   std::size_t job_index = 0;
   std::optional<std::size_t> previous;
@@ -60,10 +67,10 @@ sim_result run_simulation(Model& model, const load::trace& load, policy& pol,
       cursor.advance();
       continue;
     }
-    model.begin_epoch(e);
+    model.begin_epoch(e, cursor.index());
     std::size_t active = checked_choice(
-        pol,
-        {job_index, model.now(), e.current_a, false, previous, model.views()});
+        pol, {job_index, model.now(), e.current_a, false, previous,
+              model.views(), &model});
     res.decisions.push_back({model.now(), active, job_index, false});
     model.begin_service(active);
     for (;;) {
@@ -74,8 +81,8 @@ sim_result run_simulation(Model& model, const load::trace& load, policy& pol,
         return res;
       }
       active = checked_choice(
-          pol,
-          {job_index, model.now(), e.current_a, true, active, model.views()});
+          pol, {job_index, model.now(), e.current_a, true, active,
+                model.views(), &model});
       res.decisions.push_back({model.now(), active, job_index, true});
       model.begin_service(active);
     }
@@ -91,7 +98,7 @@ sim_result run_simulation(Model& model, const load::trace& load, policy& pol,
 /// be heterogeneous; batteries of the same type share one discretization
 /// (and its precomputed recovery table) through the kibam::bank — the same
 /// representation the exact search and the rollout scheduler advance.
-class discrete_model {
+class discrete_model : public model_view {
  public:
   static constexpr const char* kName = "simulate_discrete";
 
@@ -104,7 +111,12 @@ class discrete_model {
     bats_ = bank_.full_states();
   }
 
-  void bind(sim_result& res) { res_ = &res; }
+  void attach(sim_result& res, const load::trace& load) {
+    res_ = &res;
+    load_ = &load;
+  }
+
+  [[nodiscard]] model_info info() const { return {&bank_, load_}; }
 
   [[nodiscard]] double now() const {
     return static_cast<double>(step_count_) * t_step_;
@@ -130,16 +142,15 @@ class discrete_model {
     const auto steps = epoch_steps(e);
     for (std::int64_t i = 0; i < steps; ++i) {
       ++step_count_;
-      for (std::size_t b = 0; b < bats_.size(); ++b) {
-        kibam::step(disc_of(b), bats_[b], {0, 0});
-      }
+      bank_.step_all(bats_);
       record(-1);
     }
   }
 
-  void begin_epoch(const load::epoch& e) {
+  void begin_epoch(const load::epoch& e, std::size_t index) {
     rate_ = load::rate_for(e.current_a, bank_.steps());
     remaining_ = epoch_steps(e);
+    epoch_index_ = index;
   }
 
   void begin_service(std::size_t active) {
@@ -156,13 +167,7 @@ class discrete_model {
     while (remaining_ > 0) {
       --remaining_;
       ++step_count_;
-      kibam::step_event ev = kibam::step_event::none;
-      for (std::size_t b = 0; b < bats_.size(); ++b) {
-        const auto e_b = kibam::step(
-            disc_of(b), bats_[b],
-            b == active ? rate_ : load::draw_rate{0, 0});
-        if (b == active) ev = e_b;
-      }
+      const kibam::step_event ev = bank_.step_all(bats_, active, rate_);
       if (ev == kibam::step_event::died) {
         const bool all = std::ranges::all_of(
             bats_, [](const auto& b) { return b.empty; });
@@ -183,6 +188,67 @@ class discrete_model {
     record(static_cast<int>(last_active));
   }
 
+  // --- model_view: decision-time rollouts on a scratch state copy. ---
+  //
+  // Bit-compatible with the precomputed opt::lookahead_schedule of PR 2/3:
+  // the same integer stepping (bank::step_all), the same greedy
+  // most-available hand-over rule, the same job accounting — so the
+  // online "lookahead" policy reproduces the old decision vectors exactly
+  // on the Table 5 workloads (regression-tested in tests/test_lookahead).
+
+  [[nodiscard]] rollout_outcome rollout(
+      std::size_t candidate, std::size_t horizon_jobs) const override {
+    BSCHED_ASSERT(load_ != nullptr && remaining_ >= 0);
+    std::vector<kibam::discrete_state> bats = bats_;  // cheap bank snapshot
+    std::int64_t steps = 0;
+    // The remainder of the current epoch, then `horizon_jobs` more jobs
+    // served greedily; idle epochs pass in between.
+    if (!serve_rollout_job(bats, candidate, rate_, remaining_, steps)) {
+      return {to_minutes(steps), true, 0};
+    }
+    std::size_t epoch = epoch_index_ + 1;
+    for (std::size_t jobs_done = 1; jobs_done <= horizon_jobs;) {
+      const load::epoch& e = load_->at(epoch);
+      if (e.current_a <= 0) {
+        const std::int64_t len = epoch_steps(e);
+        for (std::int64_t i = 0; i < len; ++i) bank_.step_all(bats);
+        steps += len;
+        ++epoch;
+        continue;
+      }
+      const auto choice = greedy_permille(bats);
+      BSCHED_ASSERT(choice.has_value());
+      const load::draw_rate rate = load::rate_for(e.current_a, bank_.steps());
+      if (!serve_rollout_job(bats, *choice, rate, epoch_steps(e), steps)) {
+        return {to_minutes(steps), true, 0};
+      }
+      ++jobs_done;
+      ++epoch;
+    }
+    rollout_outcome out{to_minutes(steps), false, 0};
+    bool first = true;
+    for (std::size_t b = 0; b < bats.size(); ++b) {
+      if (bats[b].empty) continue;
+      const auto avail = static_cast<double>(
+          disc_of(b).available_permille(bats[b].n, bats[b].m));
+      out.health = first ? avail : std::min(out.health, avail);
+      first = false;
+    }
+    return out;
+  }
+
+  [[nodiscard]] bool interchangeable(std::size_t a,
+                                     std::size_t b) const override {
+    // Same type, same charge counters and recovery timer (whose pending
+    // tick can flip which twin survives longer); the discharge clock is
+    // reset on activation, so it is excluded — the same notion of
+    // interchangeability as the exact search's memo key.
+    return bank_.type_of(a) == bank_.type_of(b) &&
+           bats_[a].n == bats_[b].n && bats_[a].m == bats_[b].m &&
+           bats_[a].recovery_elapsed == bats_[b].recovery_elapsed &&
+           bats_[a].empty == bats_[b].empty;
+  }
+
  private:
   [[nodiscard]] const kibam::discretization& disc_of(std::size_t b) const {
     return bank_.disc(b);
@@ -191,6 +257,59 @@ class discrete_model {
   [[nodiscard]] std::int64_t epoch_steps(const load::epoch& e) const {
     return static_cast<std::int64_t>(std::llround(e.duration_min / t_step_));
   }
+
+  [[nodiscard]] double to_minutes(std::int64_t steps) const {
+    return static_cast<double>(steps) * t_step_;
+  }
+
+  /// Greedy most-available choice on scratch states (permille values are
+  /// comparable across types because the bank shares one charge unit).
+  [[nodiscard]] std::optional<std::size_t> greedy_permille(
+      const std::vector<kibam::discrete_state>& bats) const {
+    std::optional<std::size_t> best;
+    for (std::size_t i = 0; i < bats.size(); ++i) {
+      if (bats[i].empty) continue;
+      if (!best || disc_of(i).available_permille(bats[i].n, bats[i].m) >
+                       disc_of(*best).available_permille(bats[*best].n,
+                                                         bats[*best].m)) {
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  /// Serves `total` steps of a job epoch at `rate` on scratch states with
+  /// `active` on; mid-job hand-overs fall to the greedy rule. Returns
+  /// false when the whole system died inside the segment.
+  bool serve_rollout_job(std::vector<kibam::discrete_state>& bats,
+                         std::size_t active, const load::draw_rate& rate,
+                         std::int64_t total, std::int64_t& steps) const {
+    bats[active].discharge_elapsed = 0;
+    for (std::int64_t i = 0; i < total; ++i) {
+      ++steps;
+      if (bank_.step_all(bats, active, rate) == kibam::step_event::died) {
+        const auto next = greedy_permille(bats);
+        if (!next) return false;
+        active = *next;
+        bats[active].discharge_elapsed = 0;
+      }
+    }
+    return true;
+  }
+
+  kibam::bank bank_;
+  sim_options opts_;
+  std::vector<kibam::discrete_state> bats_;
+  sim_result* res_ = nullptr;
+  const load::trace* load_ = nullptr;
+  double t_step_ = 0;
+  double unit_ = 0;
+  std::int64_t sample_period_ = 1;
+  std::int64_t step_count_ = 0;
+  std::int64_t remaining_ = 0;
+  std::size_t epoch_index_ = 0;
+  load::draw_rate rate_{0, 0};
+  bool pending_record_ = false;
 
   void record(int active) {
     if (!opts_.record_trace || step_count_ % sample_period_ != 0) return;
@@ -206,23 +325,11 @@ class discrete_model {
     }
     res_->trace.push_back(std::move(pt));
   }
-
-  kibam::bank bank_;
-  sim_options opts_;
-  std::vector<kibam::discrete_state> bats_;
-  sim_result* res_ = nullptr;
-  double t_step_ = 0;
-  double unit_ = 0;
-  std::int64_t sample_period_ = 1;
-  std::int64_t step_count_ = 0;
-  std::int64_t remaining_ = 0;
-  load::draw_rate rate_{0, 0};
-  bool pending_record_ = false;
 };
 
 /// Analytic KiBaM backend: segment-exact closed-form advancement with
 /// exact death-time location.
-class continuous_model {
+class continuous_model : public model_view {
  public:
   static constexpr const char* kName = "simulate_continuous";
 
@@ -236,7 +343,12 @@ class continuous_model {
     empty_.assign(batteries_.size(), false);
   }
 
-  void bind(sim_result& res) { res_ = &res; }
+  void attach(sim_result& res, const load::trace& load) {
+    res_ = &res;
+    load_ = &load;
+  }
+
+  [[nodiscard]] model_info info() const { return {nullptr, load_}; }
 
   [[nodiscard]] double now() const { return now_; }
 
@@ -257,9 +369,10 @@ class continuous_model {
     advance_recorded(e.duration_min, std::nullopt, 0);
   }
 
-  void begin_epoch(const load::epoch& e) {
+  void begin_epoch(const load::epoch& e, std::size_t index) {
     left_ = e.duration_min;
     current_ = e.current_a;
+    epoch_index_ = index;
   }
 
   void begin_service(std::size_t /*active*/) {}
@@ -291,7 +404,97 @@ class continuous_model {
     res_->residual_amin = residual;
   }
 
+  // --- model_view: analytic rollouts, the continuous twin of the
+  // discrete backend's — segment-exact advancement, greedy hand-overs,
+  // the same job accounting. ---
+
+  [[nodiscard]] rollout_outcome rollout(
+      std::size_t candidate, std::size_t horizon_jobs) const override {
+    BSCHED_ASSERT(load_ != nullptr);
+    std::vector<kibam::state> states = states_;  // scratch snapshot
+    std::vector<bool> empty = empty_;
+    rollout_outcome out;
+    std::size_t epoch = epoch_index_;
+    double left = left_;
+    double current = current_;
+    std::size_t active = candidate;
+    for (std::size_t jobs_done = 0;;) {
+      // Serve `left` minutes at `current` with `active` on; hand-overs
+      // fall to the greedy rule.
+      while (left > 1e-12) {
+        const auto death = kibam::time_to_empty(batteries_[active],
+                                                states[active], current,
+                                                left);
+        const double dt = death ? *death : left;
+        for (std::size_t i = 0; i < states.size(); ++i) {
+          states[i] = kibam::advance(batteries_[i], states[i],
+                                     i == active ? current : 0.0, dt);
+        }
+        out.survived_min += dt;
+        left -= dt;
+        if (!death) break;
+        empty[active] = true;
+        const auto next = greedy_available(states, empty);
+        if (!next) {
+          out.died = true;
+          return out;
+        }
+        active = *next;
+      }
+      ++jobs_done;
+      ++epoch;
+      if (jobs_done > horizon_jobs) break;
+      // Cross idle epochs to the next job.
+      for (;; ++epoch) {
+        const load::epoch& e = load_->at(epoch);
+        if (e.current_a > 0) {
+          left = e.duration_min;
+          current = e.current_a;
+          break;
+        }
+        for (std::size_t i = 0; i < states.size(); ++i) {
+          states[i] = kibam::advance(batteries_[i], states[i], 0.0,
+                                     e.duration_min);
+        }
+        out.survived_min += e.duration_min;
+      }
+      const auto choice = greedy_available(states, empty);
+      BSCHED_ASSERT(choice.has_value());
+      active = *choice;
+    }
+    bool first = true;
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      if (empty[i]) continue;
+      const double avail = kibam::available_charge(batteries_[i], states[i]);
+      out.health = first ? avail : std::min(out.health, avail);
+      first = false;
+    }
+    return out;
+  }
+
+  [[nodiscard]] bool interchangeable(std::size_t a,
+                                     std::size_t b) const override {
+    return batteries_[a] == batteries_[b] &&
+           states_[a].gamma == states_[b].gamma &&
+           states_[a].delta == states_[b].delta && empty_[a] == empty_[b];
+  }
+
  private:
+  [[nodiscard]] std::optional<std::size_t> greedy_available(
+      const std::vector<kibam::state>& states,
+      const std::vector<bool>& empty) const {
+    std::optional<std::size_t> best;
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      if (empty[i]) continue;
+      if (!best || kibam::available_charge(batteries_[i], states[i]) >
+                       kibam::available_charge(batteries_[*best],
+                                               states[*best])) {
+        best = i;
+      }
+    }
+    return best;
+  }
+
   void record(int active) {
     if (!opts_.record_trace) return;
     trace_point pt;
@@ -336,9 +539,11 @@ class continuous_model {
   std::vector<kibam::state> states_;
   std::vector<bool> empty_;
   sim_result* res_ = nullptr;
+  const load::trace* load_ = nullptr;
   double now_ = 0;
   double left_ = 0;
   double current_ = 0;
+  std::size_t epoch_index_ = 0;
 };
 
 }  // namespace

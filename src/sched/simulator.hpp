@@ -11,6 +11,12 @@
 // trace sampling differ between them. Banks may be heterogeneous in either
 // mode. The system lifetime is the instant the last battery is observed
 // empty while serving load (the `maximum finder` semantics of Fig. 5(e)).
+//
+// Model-aware policies are served automatically: the core invokes the
+// policy's binding hook (policy::bind_model — bank model + load
+// forecast) once per run before reset, and both backends hand a
+// sched::model_view (decision-time rollout window) into every decision
+// context. Blind policies are unaffected.
 #pragma once
 
 #include <vector>

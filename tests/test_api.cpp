@@ -302,6 +302,35 @@ TEST(Scenario, DescribeIsHumanReadable) {
             "2x(C=5.5,C=11) | ILs alt | best_of_n | continuous");
 }
 
+TEST(Engine, SearchSpecParametersOverrideDefaults) {
+  // The exact-search knobs ride on the policy spec now that "opt" is a
+  // registry policy: per-scenario overrides need no engine rebuild.
+  const engine eng;
+  scenario scn{.label = {},
+               .batteries = bank(2, b1),
+               .load = load::test_load::ils_250,
+               .policy = "opt:max_nodes=1",
+               .model = fidelity::discrete,
+               .steps = {},
+               .sim = {}};
+  EXPECT_THROW((void)eng.run(scn), error);  // node budget exhausted
+
+  scn.policy = "opt:prune=0";
+  const run_result unpruned = eng.run(scn);
+  scn.policy = "opt";
+  const run_result pruned = eng.run(scn);
+  EXPECT_DOUBLE_EQ(unpruned.sim.lifetime_min, pruned.sim.lifetime_min);
+
+  scn.policy = "opt:max_memo_entries=2000";
+  const run_result capped = eng.run(scn);
+  EXPECT_DOUBLE_EQ(capped.sim.lifetime_min, pruned.sim.lifetime_min);
+  EXPECT_LE(capped.search.memo_entries, 2000u);
+  EXPECT_GT(capped.search.memo_evictions, 0u);
+
+  scn.policy = "opt:budget=1";  // unknown parameter -> spec error
+  EXPECT_THROW((void)eng.run(scn), error);
+}
+
 TEST(Engine, RegistryEntriesWinOverEngineNames) {
   // A custom registration of "opt" must not be shadowed by the engine's
   // search-derived policy of the same name.

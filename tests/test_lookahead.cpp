@@ -1,17 +1,33 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "api/scenario.hpp"
 #include "kibam/discrete.hpp"
 #include "load/jobs.hpp"
 #include "opt/lookahead.hpp"
+#include "opt/policies.hpp"
 #include "opt/search.hpp"
 #include "sched/policy.hpp"
 #include "sched/simulator.hpp"
+#include "util/rng.hpp"
 
 namespace bsched::opt {
 namespace {
 
 kibam::discretization disc_b1() {
   return kibam::discretization{kibam::battery_b1()};
+}
+
+std::string decision_digits(const std::vector<std::size_t>& decisions) {
+  std::string out;
+  for (const std::size_t b : decisions) {
+    out += static_cast<char>('0' + b);
+  }
+  return out;
 }
 
 TEST(Lookahead, NeverBeatsTheOptimum) {
@@ -101,6 +117,160 @@ TEST(Lookahead, SingleBatteryMatchesPlainLifetime) {
   const load::trace t = load::paper_trace(load::test_load::ill_500);
   const double la = lookahead_schedule(d, 1, t, 3).lifetime_min;
   EXPECT_NEAR(la, kibam::discrete_lifetime(d, t), 1e-9);
+}
+
+// --- Bit-exactness regression against the precomputed implementation. ---
+//
+// Golden values recorded from the PR 3 `opt::lookahead_schedule` (rollout
+// precomputed outside the simulator, replayed through a fixed schedule)
+// on every Table 5 workload. The online policy — deciding inside the
+// simulator through the model_view — must reproduce the lifetime, the
+// decision vector (job starts and hand-overs) and the rollout count
+// exactly.
+struct lookahead_golden {
+  load::test_load load;
+  std::size_t horizon;
+  double lifetime;         // minutes (exact on the 0.01 grid)
+  const char* decisions;   // battery index per new_job event
+  std::uint64_t rollouts;
+};
+
+const lookahead_golden k_lookahead_golden[] = {
+    {load::test_load::cl_250, 2, 11.56, "0101010110011", 22},
+    {load::test_load::cl_250, 4, 11.60, "0101011001011", 22},
+    {load::test_load::cl_500, 2, 4.50, "010101", 9},
+    {load::test_load::cl_500, 4, 4.54, "001101", 9},
+    {load::test_load::cl_alt, 2, 6.34, "01110100", 12},
+    {load::test_load::cl_alt, 4, 6.46, "00101010", 13},
+    {load::test_load::ils_250, 2, 38.92, "010101010101010101011", 38},
+    {load::test_load::ils_250, 4, 38.92, "010101010101010101011", 38},
+    {load::test_load::ils_500, 2, 10.44, "0101011", 10},
+    {load::test_load::ils_500, 4, 10.48, "0011011", 10},
+    {load::test_load::ils_alt, 2, 16.30, "0101100111", 15},
+    {load::test_load::ils_alt, 4, 16.88, "0010110101", 17},
+    {load::test_load::ils_r1, 2, 16.24, "0101100000", 13},
+    {load::test_load::ils_r1, 4, 19.00, "01001010100", 18},
+    {load::test_load::ils_r2, 2, 14.46, "011010100", 14},
+    {load::test_load::ils_r2, 4, 14.52, "010011011", 14},
+    {load::test_load::ill_250, 2, 76.00, "010101010101010101010101011", 50},
+    {load::test_load::ill_250, 4, 76.00, "010101010101010101010101011", 50},
+    {load::test_load::ill_500, 2, 15.98, "0110100", 10},
+    {load::test_load::ill_500, 4, 18.68, "00110100", 12},
+};
+
+TEST(LookaheadOnline, BitIdenticalToThePrecomputedReplay) {
+  const auto d = disc_b1();
+  for (const lookahead_golden& c : k_lookahead_golden) {
+    const load::trace t = load::paper_trace(c.load);
+    const lookahead_result r = lookahead_schedule(d, 2, t, c.horizon);
+    EXPECT_NEAR(r.lifetime_min, c.lifetime, 1e-9)
+        << load::name(c.load) << " h=" << c.horizon;
+    EXPECT_EQ(decision_digits(r.decisions), c.decisions)
+        << load::name(c.load) << " h=" << c.horizon;
+    EXPECT_EQ(r.stats.rollouts, c.rollouts)
+        << load::name(c.load) << " h=" << c.horizon;
+  }
+}
+
+// --- The online policy beyond the old implementation's reach. ---
+
+TEST(LookaheadOnline, RandomLoadsStayWithinWorstAndOpt) {
+  // The precomputed implementation could not run under `random:` loads;
+  // the online policy must, and its lifetime is bracketed by the exact
+  // extremes on the same workload — seeded mixed banks included.
+  const api::engine eng;
+  for (const std::uint64_t seed : {3u, 17u, 88u}) {
+    rng r{seed};
+    std::vector<kibam::battery_parameters> bank;
+    for (std::size_t b = 0; b < 2; ++b) {
+      bank.push_back(kibam::itsy_battery(2.0 + 0.25 * r.below(13)));
+    }
+    api::scenario scn{
+        .label = {},
+        .batteries = bank,
+        .load = api::load_spec::parse("markov:count=12,p=0.6,idle=1,seed=" +
+                                      std::to_string(seed)),
+        .policy = "lookahead:horizon=2",
+        .model = api::fidelity::discrete,
+        .steps = {},
+        .sim = {}};
+    const api::run_result la = eng.run(scn);
+    EXPECT_GT(la.search.rollouts, 0u) << seed;
+    api::scenario best_scn = scn;
+    best_scn.policy = "opt";
+    api::scenario worst_scn = scn;
+    worst_scn.policy = "worst";
+    const api::run_result best = eng.run(best_scn);
+    const api::run_result worst = eng.run(worst_scn);
+    EXPECT_GE(la.sim.lifetime_min, worst.sim.lifetime_min - 1e-9) << seed;
+    EXPECT_LE(la.sim.lifetime_min, best.sim.lifetime_min + 1e-9) << seed;
+  }
+}
+
+TEST(LookaheadOnline, ContinuousFidelityRollsOutAnalytically) {
+  // At continuous fidelity the rollouts run on the analytic KiBaM; the
+  // decisions land close to the discrete ones, so the lifetime tracks
+  // the discrete lookahead within the usual model gap.
+  const api::engine eng;
+  const api::scenario scn{.label = {},
+                          .batteries = api::bank(2, kibam::battery_b1()),
+                          .load = load::test_load::ils_alt,
+                          .policy = "lookahead:horizon=2",
+                          .model = api::fidelity::continuous,
+                          .steps = {},
+                          .sim = {}};
+  const api::run_result r = eng.run(scn);
+  EXPECT_EQ(r.policy_name, "lookahead");
+  EXPECT_GT(r.search.rollouts, 0u);
+  EXPECT_EQ(r.search.nodes, 0u);
+  api::scenario disc_scn = scn;
+  disc_scn.model = api::fidelity::discrete;
+  const api::run_result disc = eng.run(disc_scn);
+  EXPECT_NEAR(r.sim.lifetime_min, disc.sim.lifetime_min,
+              0.05 * disc.sim.lifetime_min);
+  // Deterministic: a re-run reproduces the result exactly.
+  EXPECT_EQ(eng.run(scn), r);
+}
+
+TEST(LookaheadOnline, DeterministicAcrossThreadCounts) {
+  const api::engine eng;
+  std::vector<api::scenario> cells;
+  for (const load::test_load l :
+       {load::test_load::ils_alt, load::test_load::cl_alt}) {
+    for (const char* policy :
+         {"lookahead:horizon=0", "lookahead:horizon=3"}) {
+      for (const api::fidelity f :
+           {api::fidelity::discrete, api::fidelity::continuous}) {
+        cells.push_back({.label = {},
+                         .batteries = api::bank(2, kibam::battery_b1()),
+                         .load = l,
+                         .policy = policy,
+                         .model = f,
+                         .steps = {},
+                         .sim = {}});
+      }
+    }
+  }
+  const std::vector<api::run_result> one = eng.run_batch(cells, 1);
+  const std::vector<api::run_result> four = eng.run_batch(cells, 4);
+  for (const api::run_result& r : one) {
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_GT(r.search.rollouts, 0u);
+  }
+  EXPECT_EQ(one, four);
+}
+
+TEST(LookaheadOnline, ModelLessDriversDegradeToGreedy) {
+  // A decision context without a model view (an exotic driver) falls
+  // back to the greedy rule instead of crashing.
+  const std::unique_ptr<sched::policy> pol = lookahead_policy(4);
+  const std::vector<sched::battery_view> views{
+      {0, 3.0, 0.4, false}, {1, 3.0, 0.9, false}, {2, 3.0, 0.7, false}};
+  const sched::decision_context ctx{0,     0.0,          0.5,
+                                    false, std::nullopt, views,
+                                    nullptr};
+  EXPECT_EQ(pol->choose(ctx), 1u);
+  EXPECT_EQ(pol->stats().rollouts, 0u);
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -334,6 +335,121 @@ TEST(Heterogeneous, DuplicateTypesStillCollapseBySymmetry) {
                                3, t)
                   .lifetime_min,
               1e-12);
+}
+
+TEST(DrainBound, PerBatteryCapIsAdmissible) {
+  // deliverable_units must never undercut what a battery actually
+  // delivers in a real run. Measure per-battery delivered units off the
+  // recorded trace for several policies on a mixed bank.
+  const std::vector<kibam::battery_parameters> params{
+      kibam::itsy_battery(5.5), kibam::itsy_battery(4.0)};
+  const kibam::bank bank{params};
+  for (const load::test_load l :
+       {load::test_load::cl_250, load::test_load::ils_alt,
+        load::test_load::ill_500}) {
+    const load::trace t = load::paper_trace(l);
+    std::int64_t max_draw = 0;
+    for (const load::epoch& e : t.cycle()) {
+      if (e.current_a > 0) {
+        max_draw = std::max(max_draw,
+                            load::rate_for(e.current_a, bank.steps()).units);
+      }
+    }
+    for (auto make : {sched::sequential, sched::best_of_n}) {
+      const auto pol = make();
+      sched::sim_options opts;
+      opts.record_trace = true;
+      const sched::sim_result r =
+          sched::simulate_discrete(bank, t, *pol, opts);
+      ASSERT_FALSE(r.trace.empty());
+      for (std::size_t b = 0; b < bank.size(); ++b) {
+        const double unit = bank.steps().charge_unit_amin;
+        const auto n_end = static_cast<std::int64_t>(
+            r.trace.back().total_amin[b] / unit + 0.5);
+        const std::int64_t delivered = bank.disc(b).total_units() - n_end;
+        EXPECT_LE(delivered,
+                  deliverable_units(bank.disc(b), bank.disc(b).total_units(),
+                                    max_draw))
+            << pol->name() << " battery " << b << " on " << load::name(l);
+      }
+    }
+  }
+}
+
+TEST(DrainBound, PerBatteryCapProperties) {
+  const auto d = disc_b1();
+  const std::int64_t n0 = d.total_units();
+  // Never exceeds the remaining charge, and is monotone in it.
+  std::int64_t prev = 0;
+  for (std::int64_t n = 0; n <= n0; n += 25) {
+    const std::int64_t cap = deliverable_units(d, n, 1);
+    EXPECT_LE(cap, n);
+    EXPECT_GE(cap, prev);
+    prev = cap;
+  }
+  // The c-fraction stranding bites: a full B1 cell under unit draws can
+  // never deliver its whole charge.
+  EXPECT_LT(deliverable_units(d, n0, 1), n0);
+  // Large final draws wash the stranding out (the cap stays admissible).
+  EXPECT_EQ(deliverable_units(d, n0, 8), n0);
+  // A nearly-empty battery still delivers its final draw at most.
+  EXPECT_EQ(deliverable_units(d, 1, 1), 1);
+  EXPECT_EQ(deliverable_units(d, 0, 1), 0);
+}
+
+TEST(Heterogeneous, PerBatteryBoundNeverExpandsMoreNodes) {
+  // The tightened admissible bound may only ever prune more: identical
+  // lifetimes and decisions, node counts shrink or stay equal on the
+  // 5.5 + 4.0 A*min mixed bank.
+  const kibam::bank bank{{kibam::itsy_battery(5.5),
+                          kibam::itsy_battery(4.0)}};
+  search_options tight;
+  ASSERT_TRUE(tight.per_battery_bound);
+  search_options loose;
+  loose.per_battery_bound = false;
+  for (const load::test_load l : load::all_test_loads()) {
+    const load::trace t = load::paper_trace(l);
+    const optimal_result a = optimal_schedule(bank, t, tight);
+    const optimal_result b = optimal_schedule(bank, t, loose);
+    EXPECT_DOUBLE_EQ(a.lifetime_min, b.lifetime_min) << load::name(l);
+    EXPECT_EQ(a.decisions, b.decisions) << load::name(l);
+    EXPECT_LE(a.stats.nodes, b.stats.nodes) << load::name(l);
+  }
+}
+
+TEST(Optimal, HomogeneousBanksIgnoreThePerBatteryBound) {
+  // Contract: one-type banks keep the historic summed-units bound, so
+  // the published Table 5 node counts stay pinned whatever the flag.
+  const auto d = disc_b1();
+  const load::trace t = load::paper_trace(load::test_load::ils_alt);
+  search_options off;
+  off.per_battery_bound = false;
+  const optimal_result a = optimal_schedule(d, 2, t);
+  const optimal_result b = optimal_schedule(d, 2, t, off);
+  EXPECT_EQ(a.stats.nodes, b.stats.nodes);
+  EXPECT_EQ(a.decisions, b.decisions);
+}
+
+TEST(Optimal, MemoCapEvictsWithoutChangingTheResult) {
+  // A capped transposition table re-expands evicted subtrees; the exact
+  // result — lifetime, decisions — is unaffected, entries stay within
+  // the cap, and the evictions surface in the stats.
+  const auto d = disc_b1();
+  const load::trace t = load::paper_trace(load::test_load::ils_250);
+  const optimal_result unbounded = optimal_schedule(d, 2, t);
+  ASSERT_GT(unbounded.stats.memo_entries, 2000u);
+  EXPECT_EQ(unbounded.stats.memo_evictions, 0u);
+  search_options capped;
+  capped.max_memo_entries = 2000;
+  const optimal_result r = optimal_schedule(d, 2, t, capped);
+  EXPECT_DOUBLE_EQ(r.lifetime_min, unbounded.lifetime_min);
+  EXPECT_EQ(r.decisions, unbounded.decisions);
+  EXPECT_LE(r.stats.memo_entries, 2000u);
+  EXPECT_GT(r.stats.memo_evictions, 0u);
+  EXPECT_GE(r.stats.nodes, unbounded.stats.nodes);
+  // Deterministic: the same cap reproduces the same effort counters.
+  const optimal_result again = optimal_schedule(d, 2, t, capped);
+  EXPECT_EQ(r.stats, again.stats);
 }
 
 TEST(Optimal, StatsAreReported) {

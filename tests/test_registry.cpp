@@ -2,6 +2,7 @@
 // parameter handling, and error reporting.
 #include <gtest/gtest.h>
 
+#include "opt/policies.hpp"
 #include "sched/registry.hpp"
 #include "util/error.hpp"
 #include "util/spec.hpp"
@@ -86,6 +87,36 @@ TEST(Registry, RejectsUnknownNamesAndParameters) {
   EXPECT_THROW((void)make_policy("random:sede=42"), error);
   EXPECT_THROW((void)make_policy("fixed"), error);
   EXPECT_THROW((void)make_policy("fixed:decisions=0;1"), error);
+}
+
+TEST(Registry, ModelRegistryAddsTheModelAwarePolicies) {
+  // opt::model_registry layers "opt" / "worst" / "lookahead:horizon=N"
+  // over the blind built-ins; all three construct unbound (they plan
+  // when the simulator invokes the binding hook).
+  const registry r = opt::model_registry();
+  for (const char* name : {"opt", "worst", "lookahead"}) {
+    EXPECT_TRUE(r.contains(name)) << name;
+  }
+  EXPECT_EQ(r.make("opt")->name(), "opt");
+  EXPECT_EQ(r.make("worst")->name(), "worst");
+  EXPECT_EQ(r.make("lookahead:horizon=2")->name(), "lookahead");
+  EXPECT_THROW((void)r.make("lookahead:h=2"), error);
+  EXPECT_THROW((void)r.make("opt:no_such_knob=1"), error);
+  // The blind global registry stays blind.
+  EXPECT_FALSE(registry::global().contains("opt"));
+}
+
+TEST(Registry, UnboundExactPolicyRejectsChoosing) {
+  // An exact policy that was never bound has no plan and no greedy
+  // context worth trusting... it falls back to greedy like an exhausted
+  // fixed schedule, so direct simulator use without binding stays safe.
+  const auto pol = opt::exact_policy(false);
+  const std::vector<battery_view> views{{0, 5.0, 0.3, false},
+                                        {1, 5.0, 0.8, false}};
+  const decision_context ctx{0, 0.0, 0.5, false, std::nullopt, views,
+                             nullptr};
+  EXPECT_EQ(pol->choose(ctx), 1u);
+  EXPECT_EQ(pol->stats(), search_stats{});
 }
 
 TEST(Registry, CopiesAreIndependentlyExtensible) {
