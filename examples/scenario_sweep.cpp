@@ -1,26 +1,30 @@
 // A replicated random-load sweep through engine::run_sweep: ten cells
 // (five seeded random/markov workloads x two policies on 2 x B1), each
 // evaluated `--replications` times with derived per-(cell, replication)
-// seeds, streamed into the api::summarize sink.
+// seeds, streamed into the api::summarize sink. The grid and the report
+// live in tools/sweep_common.hpp, shared with the distributed pipeline
+// (sweep_worker / sweep_merge), so a sharded run merges back into
+// exactly this report.
 //
 //   $ ./scenario_sweep [--threads N] [--replications R] [--csv FILE]
 //
 // Prints one row per cell with the lifetime distribution statistics
-// (n, mean, stddev, 95% CI, min/max, cache hits) and cross-checks the
-// multi-threaded sweep against a single-threaded run, summary for
-// summary — the aggregates must be byte-identical whatever the thread
-// count. With --csv the same columns are written through util/csv, so a
-// full sweep is reproducible and plottable from the command line.
+// (n, mean, stddev, 95% CI, min/max, sketch median, cache hits) and
+// cross-checks the multi-threaded sweep against a single-threaded run,
+// summary for summary — the aggregates must be byte-identical whatever
+// the thread count. With --csv the same statistics are written through
+// util/csv with self-describing scenario columns (label/load/policy/
+// fidelity), so a full sweep is reproducible and plottable from the
+// command line — and serves as the reference for `sweep_merge --expect`.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "../tools/sweep_common.hpp"
 #include "api/engine.hpp"
 #include "api/scenario.hpp"
 #include "api/sweep.hpp"
-#include "util/csv.hpp"
-#include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace bsched;
@@ -37,21 +41,10 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    const auto number = [&](const std::string& text) -> std::size_t {
-      try {
-        std::size_t end = 0;
-        const unsigned long v = std::stoul(text, &end);
-        if (end == text.size()) return v;
-      } catch (const std::exception&) {
-      }
-      std::fprintf(stderr, "%s: not a number: '%s'\n", arg.c_str(),
-                   text.c_str());
-      std::exit(2);
-    };
     if (arg == "--threads") {
-      n_threads = number(value());
+      n_threads = tools::cli_number(arg, value());
     } else if (arg == "--replications") {
-      replications = number(value());
+      replications = tools::cli_number(arg, value());
     } else if (arg == "--csv") {
       csv_path = value();
     } else {
@@ -62,20 +55,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::vector<api::load_spec> loads;
-  for (const char* text : {"random:count=40,p=0.3,seed=1",
-                           "random:count=40,p=0.5,seed=2",
-                           "random:count=40,p=0.8,seed=3",
-                           "markov:count=40,p=0.7,seed=4",
-                           "markov:count=40,p=0.9,seed=5"}) {
-    loads.push_back(api::load_spec::parse(text));
-  }
-  api::sweep sweep;
-  sweep.seed = 2009;  // DSN
-  sweep.replications = replications;
-  sweep.cells = api::cross({api::bank(2, kibam::battery_b1())}, loads,
-                           {"round_robin", "best_of_n"},
-                           {api::fidelity::discrete});
+  const api::sweep sweep = tools::demo_sweep(replications);
   std::printf(
       "sweep: %zu cells (2 x B1, random/markov loads x round_robin/"
       "best_of_n)\n       x %zu replications = %zu runs, %zu threads, "
@@ -95,42 +75,15 @@ int main(int argc, char** argv) {
   const bool deterministic =
       sink.cells() == reference.cells() && stats == ref_stats;
 
-  const auto fmt = [](double v) {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.2f", v);
-    return std::string{buf};
-  };
-  text_table table{{"cell", "n", "fail", "mean", "stddev", "ci95", "min",
-                    "max", "cached"}};
-  for (const api::cell_summary& c : sink.cells()) {
-    table.row({c.label, std::to_string(c.n), std::to_string(c.failures),
-               fmt(c.mean_min), fmt(c.stddev_min), fmt(c.ci95_min),
-               fmt(c.min_min), fmt(c.max_min),
-               std::to_string(c.cache_hits)});
-  }
-  std::fputs(table.str().c_str(), stdout);
+  tools::print_summary_table(sink.cells());
   std::printf(
       "\nLifetimes in minutes; ci95 is the half-width of the normal 95%% "
-      "confidence\ninterval. %zu runs, %zu distinct cells evaluated, %zu "
-      "cache hits, %zu failures.\n%zu-thread sweep vs single-threaded "
-      "reference: %s.\n",
+      "confidence\ninterval, p50 the sketch median. %zu runs, %zu distinct "
+      "cells evaluated, %zu\ncache hits, %zu failures.\n%zu-thread sweep vs "
+      "single-threaded reference: %s.\n",
       stats.runs, stats.evaluated, stats.cache_hits, stats.failures,
       n_threads, deterministic ? "byte-identical" : "MISMATCH");
 
-  if (!csv_path.empty()) {
-    csv_writer csv{csv_path,
-                   {"cell", "label", "n", "failures", "mean_min",
-                    "stddev_min", "ci95_min", "min_min", "max_min",
-                    "cache_hits"}};
-    for (const api::cell_summary& c : sink.cells()) {
-      csv.row({std::to_string(c.cell), c.label, std::to_string(c.n),
-               std::to_string(c.failures), format_double(c.mean_min),
-               format_double(c.stddev_min), format_double(c.ci95_min),
-               format_double(c.min_min), format_double(c.max_min),
-               std::to_string(c.cache_hits)});
-    }
-    std::printf("wrote %zu summary rows to %s\n", csv.rows_written(),
-                csv_path.c_str());
-  }
+  if (!csv_path.empty()) tools::write_summary_csv(csv_path, sink.cells());
   return deterministic && stats.failures == 0 ? 0 : 1;
 }

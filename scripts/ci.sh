@@ -48,6 +48,22 @@ run_release() {
   # against crashes and lets gross regressions show up in the CI log,
   # not a perf gate).
   "$dir/scenario_sweep" --threads 4 --replications 10
+  # Distributed-sweep equivalence smoke: three shard workers, merged
+  # through the dist::codec files, must reproduce the single-process
+  # scenario_sweep statistics (sweep_merge --expect exits non-zero on
+  # any mismatch beyond the documented merge tolerance) — this pins the
+  # codec format and the shard/merge path end to end.
+  local shard_dir
+  shard_dir="$(mktemp -d)"
+  "$dir/scenario_sweep" --threads 2 --replications 10 \
+    --csv "$shard_dir/ref.csv" > /dev/null
+  for k in 0 1 2; do
+    "$dir/sweep_worker" --shard "$k" --of 3 --replications 10 --threads 2 \
+      --out "$shard_dir/shard$k.agg"
+  done
+  "$dir/sweep_merge" --expect "$shard_dir/ref.csv" "$shard_dir"/shard*.agg \
+    > /dev/null
+  rm -rf "$shard_dir"
   "$dir/bench_table3" > /dev/null
   "$dir/bench_lookahead" > /dev/null
   if [ -x "$dir/bench_micro" ]; then

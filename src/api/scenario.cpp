@@ -1,26 +1,14 @@
 #include "api/scenario.hpp"
 
 #include <algorithm>
-#include <charconv>
 #include <cstdio>
 
 #include "load/random.hpp"
 #include "util/error.hpp"
 #include "util/spec.hpp"
+#include "util/text.hpp"
 
 namespace bsched::api {
-
-namespace {
-
-/// Shortest decimal form that parses back to exactly `v` (std::to_chars
-/// round-trip guarantee), so described specs re-parse bit-identically.
-std::string shortest_double(double v) {
-  char buf[32];
-  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
-  return std::string(buf, ptr);
-}
-
-}  // namespace
 
 std::string name(fidelity f) {
   switch (f) {

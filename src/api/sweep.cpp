@@ -178,42 +178,112 @@ std::string cell_key(const scenario& scn) {
   return out;
 }
 
+void cell_accumulator::add(const run_result& r, bool cache_hit) {
+  if (cache_hit) ++cache_hits;
+  if (!r.ok()) {
+    ++failures;
+    return;
+  }
+  const double x = r.sim.lifetime_min;
+  ++n;
+  if (n == 1) {
+    min = max = x;
+  } else {
+    min = std::min(min, x);
+    max = std::max(max, x);
+  }
+  // Welford's online update: numerically stable and single-pass, so the
+  // sink never has to retain the per-replication samples.
+  const double delta = x - mean;
+  mean += delta / static_cast<double>(n);
+  m2 += delta * (x - mean);
+  lifetime.add(x);
+  residual.add(r.sim.residual_amin);
+}
+
+void cell_accumulator::merge(const cell_accumulator& other) {
+  failures += other.failures;
+  cache_hits += other.cache_hits;
+  lifetime.merge(other.lifetime);
+  residual.merge(other.residual);
+  if (other.n == 0) return;
+  if (n == 0) {
+    n = other.n;
+    mean = other.mean;
+    m2 = other.m2;
+    min = other.min;
+    max = other.max;
+    return;
+  }
+  // Chan et al. parallel combine of the Welford moments.
+  const double na = static_cast<double>(n);
+  const double nb = static_cast<double>(other.n);
+  const double total = na + nb;
+  const double delta = other.mean - mean;
+  mean += delta * (nb / total);
+  m2 += other.m2 + delta * delta * (na * nb / total);
+  n += other.n;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+}
+
+void cell_accumulator::finalize(cell_summary& out) const {
+  out.n = n;
+  out.failures = failures;
+  out.cache_hits = cache_hits;
+  out.mean_min = mean;
+  out.min_min = min;
+  out.max_min = max;
+  if (n >= 2) {
+    const double nn = static_cast<double>(n);
+    out.stddev_min = std::sqrt(m2 / (nn - 1));
+    out.ci95_min = 1.959963984540054 * out.stddev_min / std::sqrt(nn);
+  } else {
+    out.stddev_min = 0;
+    out.ci95_min = 0;
+  }
+  if (n > 0) {
+    out.p10_min = lifetime.quantile(0.10);
+    out.p50_min = lifetime.quantile(0.50);
+    out.p90_min = lifetime.quantile(0.90);
+    out.p50_residual_amin = residual.quantile(0.50);
+  } else {
+    out.p10_min = 0;
+    out.p50_min = 0;
+    out.p90_min = 0;
+    out.p50_residual_amin = 0;
+  }
+}
+
 summarize::summarize(const sweep& sw)
-    : cells_(sw.cells.size()), m2_(sw.cells.size(), 0.0) {
+    : cells_(sw.cells.size()), agg_(sw.cells.size()) {
   for (std::size_t i = 0; i < sw.cells.size(); ++i) {
     cells_[i].cell = i;
     cells_[i].label = sw.cells[i].describe();
+    cells_[i].load = sw.cells[i].load.describe();
+    cells_[i].policy = sw.cells[i].policy;
+    cells_[i].fidelity = name(sw.cells[i].model);
   }
 }
 
 void summarize::consume(const sweep_result& r) {
   require(r.cell < cells_.size(), "summarize: cell index out of range");
-  cell_summary& c = cells_[r.cell];
-  if (r.cache_hit) ++c.cache_hits;
-  if (!r.result.ok()) {
-    ++c.failures;
-    return;
-  }
-  const double x = r.result.sim.lifetime_min;
-  ++c.n;
-  if (c.n == 1) {
-    c.min_min = c.max_min = x;
-  } else {
-    c.min_min = std::min(c.min_min, x);
-    c.max_min = std::max(c.max_min, x);
-  }
-  // Welford's online update: numerically stable and single-pass, so the
-  // sink never has to retain the per-replication samples.
-  const double delta = x - c.mean_min;
-  c.mean_min += delta / static_cast<double>(c.n);
-  m2_[r.cell] += delta * (x - c.mean_min);
-  if (c.n >= 2) {
-    const double n = static_cast<double>(c.n);
-    c.stddev_min = std::sqrt(m2_[r.cell] / (n - 1));
-    c.ci95_min = 1.959963984540054 * c.stddev_min / std::sqrt(n);
-  } else {
-    c.stddev_min = 0;
-    c.ci95_min = 0;
+  agg_[r.cell].add(r.result, r.cache_hit);
+  agg_[r.cell].finalize(cells_[r.cell]);
+}
+
+void summarize::merge(const summarize& other) {
+  require(cells_.size() == other.cells_.size(),
+          "summarize: merge needs summaries of the same sweep");
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    require(cells_[i].label == other.cells_[i].label &&
+                cells_[i].load == other.cells_[i].load &&
+                cells_[i].policy == other.cells_[i].policy &&
+                cells_[i].fidelity == other.cells_[i].fidelity,
+            "summarize: merge needs summaries of the same sweep (cell " +
+                std::to_string(i) + " differs)");
+    agg_[i].merge(other.agg_[i]);
+    agg_[i].finalize(cells_[i]);
   }
 }
 

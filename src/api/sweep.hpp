@@ -26,6 +26,7 @@
 
 #include "api/result.hpp"
 #include "api/scenario.hpp"
+#include "util/tdigest.hpp"
 
 namespace bsched::api {
 
@@ -107,6 +108,14 @@ struct sweep_stats {
 struct cell_summary {
   std::size_t cell = 0;
   std::string label;           ///< sweep.cells[cell].describe().
+  /// Self-describing scenario columns, so CSV rows and merged shard
+  /// aggregates carry their cell's definition instead of every consumer
+  /// recomputing it: the load description (load_spec::describe(), a
+  /// parse() round-trip for paper/random loads), the policy spec string
+  /// and the fidelity name.
+  std::string load;
+  std::string policy;
+  std::string fidelity;
   std::size_t n = 0;           ///< Successful replications.
   std::size_t failures = 0;    ///< Replications with run_result::error.
   std::size_t cache_hits = 0;  ///< Replications served from the cache.
@@ -118,28 +127,90 @@ struct cell_summary {
   /// Half-width of the normal-approximation 95% confidence interval,
   /// 1.96 * stddev / sqrt(n); 0 when n < 2.
   double ci95_min = 0;
+  /// Lifetime distribution quantiles from the cell's t-digest sketch —
+  /// exact up to summary_digest_centroids replications, the usual
+  /// t-digest approximation beyond; 0 when n == 0.
+  double p10_min = 0;
+  double p50_min = 0;
+  double p90_min = 0;
+  /// Median residual charge at death (A*min) from the residual sketch.
+  double p50_residual_amin = 0;
 
   friend bool operator==(const cell_summary&, const cell_summary&) = default;
+};
+
+/// Centroid budget of the per-cell lifetime/residual sketches: up to this
+/// many replications the digests keep every sample, so quantiles — and
+/// shard merges (dist/shard.hpp) — are exact.
+inline constexpr std::size_t summary_digest_centroids = 64;
+
+/// The mergeable per-cell aggregate state behind `summarize`: counts,
+/// Welford moments, extrema and the lifetime/residual t-digest sketches.
+/// `merge` is the Chan/Welford parallel combine, which is what makes a
+/// sweep a partitionable computation: shard workers accumulate
+/// independently and the merged state reproduces the sequential one
+/// exactly for n/failures/min/max and to ulp-scale rounding for
+/// mean/m2 (dist/shard.hpp, tools/sweep_merge).
+struct cell_accumulator {
+  std::size_t n = 0;           ///< Successful observations.
+  std::size_t failures = 0;
+  std::size_t cache_hits = 0;
+  double mean = 0;
+  double m2 = 0;  ///< Welford running sum of squared deviations.
+  double min = 0;
+  double max = 0;
+  tdigest lifetime{summary_digest_centroids};
+  tdigest residual{summary_digest_centroids};
+
+  /// Folds one delivered result in (Welford update + sketches).
+  void add(const run_result& r, bool cache_hit);
+
+  /// Parallel combine (Chan et al.): order-sensitive only at ulp scale
+  /// in mean/m2; counts and extrema combine exactly.
+  void merge(const cell_accumulator& other);
+
+  /// Writes the derived statistics (mean/stddev/CI/quantiles/...) into
+  /// the numeric fields of `out`; descriptor fields are left untouched.
+  void finalize(cell_summary& out) const;
+
+  friend bool operator==(const cell_accumulator&,
+                         const cell_accumulator&) = default;
 };
 
 /// Collecting sink computing per-cell statistics as results stream in
 /// (Welford's online algorithm): memory is O(cells), independent of the
 /// replication count. Because sinks are fed in deterministic grid order,
-/// the summaries are byte-identical for any worker-thread count.
+/// the summaries are byte-identical for any worker-thread count. Two
+/// summaries of the same sweep over disjoint replication slices combine
+/// with `merge` (the distributed-sweep pipeline of src/dist).
 class summarize final : public result_sink {
  public:
-  /// Pre-sizes one summary per cell of `sw` (labels included).
+  /// Pre-sizes one summary per cell of `sw` (labels and scenario
+  /// descriptors included).
   explicit summarize(const sweep& sw);
 
   void consume(const sweep_result& r) override;
+
+  /// Position-wise parallel combine with a summary of the *same* sweep
+  /// (matching cell descriptors required): counts/extrema merge exactly,
+  /// mean/stddev/CI to ulp-scale rounding. Throws bsched::error on
+  /// shape or descriptor mismatch.
+  void merge(const summarize& other);
 
   [[nodiscard]] const std::vector<cell_summary>& cells() const noexcept {
     return cells_;
   }
 
+  /// The raw mergeable state, one accumulator per cell (serialized by
+  /// dist::codec).
+  [[nodiscard]] const std::vector<cell_accumulator>& accumulators()
+      const noexcept {
+    return agg_;
+  }
+
  private:
   std::vector<cell_summary> cells_;
-  std::vector<double> m2_;  ///< Welford running sums of squared deviations.
+  std::vector<cell_accumulator> agg_;
 };
 
 /// The scenario run_sweep actually evaluates for (cell, replication).

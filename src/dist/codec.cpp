@@ -1,0 +1,270 @@
+#include "dist/codec.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/text.hpp"
+
+namespace bsched::dist {
+
+namespace {
+
+void encode_digest(const char* tag, const tdigest& d, std::ostream& out) {
+  out << tag << " budget=" << d.max_centroids()
+      << " centroids=" << d.centroids().size();
+  for (const centroid& c : d.centroids()) {
+    out << ' ' << shortest_double(c.mean) << ':' << shortest_double(c.weight);
+  }
+  out << '\n';
+}
+
+/// Tokenized decoder state: reads line by line, splits on spaces, and
+/// reports errors with the 1-based line number.
+class reader {
+ public:
+  explicit reader(std::istream& in) : in_(in) {}
+
+  /// Advances to the next line; returns false at end of stream.
+  bool next_line() {
+    if (!std::getline(in_, line_)) return false;
+    if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+    ++line_no_;
+    return true;
+  }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    std::string msg = "dist::codec: line ";
+    msg += std::to_string(line_no_);
+    msg += ": ";
+    msg += why;
+    throw error(msg);
+  }
+
+  /// The current line's first space-separated token (its record tag).
+  [[nodiscard]] std::string_view tag() const {
+    const std::string_view v{line_};
+    return v.substr(0, std::min(v.find(' '), v.size()));
+  }
+
+  [[nodiscard]] const std::string& line() const { return line_; }
+
+  /// Splits the current line into space-separated tokens after the tag.
+  [[nodiscard]] std::vector<std::string_view> fields() const {
+    std::vector<std::string_view> out;
+    const std::string_view v{line_};
+    std::size_t pos = std::min(v.find(' '), v.size());
+    while (pos < v.size()) {
+      ++pos;
+      const std::size_t end = std::min(v.find(' ', pos), v.size());
+      out.push_back(v.substr(pos, end - pos));
+      pos = end;
+    }
+    return out;
+  }
+
+  /// For "tag key=value ..." records: the value of `key`, or fail().
+  [[nodiscard]] std::string_view value(const std::string& key) const {
+    for (const std::string_view f : fields()) {
+      const std::size_t eq = f.find('=');
+      if (eq != std::string_view::npos && f.substr(0, eq) == key) {
+        return f.substr(eq + 1);
+      }
+    }
+    fail("missing field '" + key + "' in '" + line_ + "'");
+  }
+
+  [[nodiscard]] std::uint64_t value_u64(const std::string& key) const {
+    try {
+      return parse_u64(value(key), "field " + key);
+    } catch (const error& e) {
+      fail(e.what());
+    }
+  }
+
+  [[nodiscard]] std::size_t value_size(const std::string& key) const {
+    return static_cast<std::size_t>(value_u64(key));
+  }
+
+  [[nodiscard]] double value_double(const std::string& key) const {
+    try {
+      return parse_double(value(key), "field " + key);
+    } catch (const error& e) {
+      fail(e.what());
+    }
+  }
+
+  /// Expects the current line to be "key=<rest>" and returns the rest
+  /// verbatim (free-form string records: labels and specs).
+  [[nodiscard]] std::string text_record(const std::string& key) {
+    if (line_.size() < key.size() + 1 ||
+        line_.compare(0, key.size(), key) != 0 || line_[key.size()] != '=') {
+      fail("expected '" + key + "=...', got '" + line_ + "'");
+    }
+    return line_.substr(key.size() + 1);
+  }
+
+  /// Advances and requires the next line's tag.
+  void expect_line(const std::string& tag_name) {
+    if (!next_line()) fail("unexpected end of stream (wanted " + tag_name + ")");
+    if (tag() != tag_name) {
+      fail("expected '" + tag_name + "' record, got '" + line_ + "'");
+    }
+  }
+
+ private:
+  std::istream& in_;
+  std::string line_;
+  std::size_t line_no_ = 0;
+};
+
+tdigest decode_digest(reader& r) {
+  const std::size_t budget = r.value_size("budget");
+  const std::size_t count = r.value_size("centroids");
+  std::vector<centroid> cs;
+  cs.reserve(count);
+  for (const std::string_view f : r.fields()) {
+    if (f.find('=') != std::string_view::npos) continue;  // key=value fields
+    const std::size_t colon = f.find(':');
+    if (colon == std::string_view::npos) {
+      r.fail("malformed centroid '" + std::string{f} + "' (want mean:weight)");
+    }
+    centroid c;
+    c.mean = parse_double(f.substr(0, colon), "dist::codec: centroid mean");
+    c.weight =
+        parse_double(f.substr(colon + 1), "dist::codec: centroid weight");
+    cs.push_back(c);
+  }
+  if (cs.size() != count) {
+    r.fail("centroid count mismatch: header says " + std::to_string(count) +
+           ", line carries " + std::to_string(cs.size()));
+  }
+  try {
+    return tdigest::from_centroids(budget, std::move(cs));
+  } catch (const error& e) {
+    r.fail(e.what());
+  }
+}
+
+}  // namespace
+
+void encode(const shard_aggregate& agg, std::ostream& out) {
+  out << "bsched-shard v" << codec_version << '\n';
+  out << "shard index=" << agg.shard_index << " count=" << agg.shard_count
+      << " first=" << agg.first_item << " last=" << agg.last_item << '\n';
+  out << "sweep cells=" << agg.grid_cells
+      << " replications=" << agg.replications << " seed=" << agg.seed
+      << " reseed=" << (agg.reseed ? 1 : 0)
+      << " pair_by_load=" << (agg.pair_by_load ? 1 : 0) << '\n';
+  out << "stats runs=" << agg.stats.runs
+      << " evaluated=" << agg.stats.evaluated
+      << " cache_hits=" << agg.stats.cache_hits
+      << " failures=" << agg.stats.failures << '\n';
+  for (const cell_record& c : agg.cells) {
+    out << "cell index=" << c.cell << '\n';
+    out << "label=" << c.label << '\n';
+    out << "load=" << c.load << '\n';
+    out << "policy=" << c.policy << '\n';
+    out << "fidelity=" << c.fidelity << '\n';
+    out << "agg n=" << c.agg.n << " failures=" << c.agg.failures
+        << " cache_hits=" << c.agg.cache_hits << " mean="
+        << shortest_double(c.agg.mean) << " m2=" << shortest_double(c.agg.m2)
+        << " min=" << shortest_double(c.agg.min)
+        << " max=" << shortest_double(c.agg.max) << '\n';
+    encode_digest("lifetime", c.agg.lifetime, out);
+    encode_digest("residual", c.agg.residual, out);
+  }
+  out << "end\n";
+  require(out.good(), "dist::codec: stream write failed");
+}
+
+shard_aggregate decode(std::istream& in) {
+  reader r{in};
+  if (!r.next_line()) r.fail("empty stream (wanted the magic line)");
+  const std::string magic = "bsched-shard v" + std::to_string(codec_version);
+  if (r.line() != magic) {
+    r.fail("bad magic '" + r.line() + "' (this reader speaks '" + magic +
+           "')");
+  }
+
+  shard_aggregate agg;
+  r.expect_line("shard");
+  agg.shard_index = r.value_size("index");
+  agg.shard_count = r.value_size("count");
+  agg.first_item = r.value_size("first");
+  agg.last_item = r.value_size("last");
+
+  r.expect_line("sweep");
+  agg.grid_cells = r.value_size("cells");
+  agg.replications = r.value_size("replications");
+  agg.seed = r.value_u64("seed");
+  agg.reseed = r.value_size("reseed") != 0;
+  agg.pair_by_load = r.value_size("pair_by_load") != 0;
+
+  r.expect_line("stats");
+  agg.stats.runs = r.value_size("runs");
+  agg.stats.evaluated = r.value_size("evaluated");
+  agg.stats.cache_hits = r.value_size("cache_hits");
+  agg.stats.failures = r.value_size("failures");
+
+  agg.cells.reserve(agg.grid_cells);
+  while (true) {
+    if (!r.next_line()) r.fail("unexpected end of stream (wanted cell/end)");
+    if (r.tag() == "end") break;
+    if (r.tag() != "cell") {
+      r.fail("expected 'cell' or 'end' record, got '" + r.line() + "'");
+    }
+    cell_record c;
+    c.cell = r.value_size("index");
+    if (c.cell != agg.cells.size()) {
+      r.fail("cell records out of order: expected index " +
+             std::to_string(agg.cells.size()));
+    }
+    if (!r.next_line()) r.fail("unexpected end of stream (wanted label)");
+    c.label = r.text_record("label");
+    if (!r.next_line()) r.fail("unexpected end of stream (wanted load)");
+    c.load = r.text_record("load");
+    if (!r.next_line()) r.fail("unexpected end of stream (wanted policy)");
+    c.policy = r.text_record("policy");
+    if (!r.next_line()) r.fail("unexpected end of stream (wanted fidelity)");
+    c.fidelity = r.text_record("fidelity");
+    r.expect_line("agg");
+    c.agg.n = r.value_size("n");
+    c.agg.failures = r.value_size("failures");
+    c.agg.cache_hits = r.value_size("cache_hits");
+    c.agg.mean = r.value_double("mean");
+    c.agg.m2 = r.value_double("m2");
+    c.agg.min = r.value_double("min");
+    c.agg.max = r.value_double("max");
+    r.expect_line("lifetime");
+    c.agg.lifetime = decode_digest(r);
+    r.expect_line("residual");
+    c.agg.residual = decode_digest(r);
+    agg.cells.push_back(std::move(c));
+  }
+  if (agg.cells.size() != agg.grid_cells) {
+    r.fail("cell count mismatch: sweep header says " +
+           std::to_string(agg.grid_cells) + ", stream carries " +
+           std::to_string(agg.cells.size()));
+  }
+  return agg;
+}
+
+void write_file(const shard_aggregate& agg, const std::string& path) {
+  std::ofstream out{path};
+  require(out.good(), "dist::codec: cannot open " + path + " for writing");
+  encode(agg, out);
+  require(out.good(), "dist::codec: writing " + path + " failed");
+}
+
+shard_aggregate read_file(const std::string& path) {
+  std::ifstream in{path};
+  require(in.good(), "dist::codec: cannot open " + path);
+  return decode(in);
+}
+
+}  // namespace bsched::dist

@@ -1,0 +1,55 @@
+// Versioned portable serialization of shard aggregates.
+//
+// The wire format is line-oriented text: one "bsched-shard v<N>" magic
+// line, then space-separated key=value records. Doubles are rendered in
+// their shortest round-tripping decimal form (util/text.hpp), so a
+// decoded aggregate compares *equal* to the encoded one — merging shard
+// files is bit-identical to merging the in-memory aggregates. Free-form
+// strings (labels, load/policy specs) are carried as "key=<rest of
+// line>" records and may contain anything but a newline.
+//
+//   bsched-shard v1
+//   shard index=0 count=3 first=0 last=34
+//   sweep cells=10 replications=10 seed=2009 reseed=1 pair_by_load=0
+//   stats runs=34 evaluated=34 cache_hits=0 failures=0
+//   cell index=0
+//   label=2xC=5.5 | random:... | round_robin | discrete
+//   load=random:count=40,idle=1,p=0.3,seed=1
+//   policy=round_robin
+//   fidelity=discrete
+//   agg n=4 failures=0 cache_hits=0 mean=... m2=... min=... max=...
+//   lifetime budget=64 centroids=4 m:w m:w m:w m:w
+//   residual budget=64 centroids=4 m:w m:w m:w m:w
+//   ...
+//   end
+//
+// Stability note: v1 is append-only — readers reject a different version
+// line rather than guessing, and any future field additions bump the
+// version. Decoding is strict: wrong magic, truncation, unknown record
+// tags or malformed numbers throw bsched::error naming the line.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "dist/shard.hpp"
+
+namespace bsched::dist {
+
+/// Current wire-format version (the N of "bsched-shard vN").
+inline constexpr std::size_t codec_version = 1;
+
+/// Writes `agg` to `out` in the v1 line format.
+void encode(const shard_aggregate& agg, std::ostream& out);
+
+/// Parses one aggregate back; strict inverse of encode. Throws
+/// bsched::error on version mismatch or malformed input.
+[[nodiscard]] shard_aggregate decode(std::istream& in);
+
+/// File convenience wrappers around encode/decode. Throw bsched::error
+/// when the file cannot be opened.
+void write_file(const shard_aggregate& agg, const std::string& path);
+[[nodiscard]] shard_aggregate read_file(const std::string& path);
+
+}  // namespace bsched::dist

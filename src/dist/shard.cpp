@@ -1,0 +1,162 @@
+#include "dist/shard.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace bsched::dist {
+
+shard plan_shard(const api::sweep& sw, std::size_t k, std::size_t n) {
+  require(n >= 1, "plan_shards: need at least one shard");
+  require(k < n, "plan_shard: shard index " + std::to_string(k) +
+                     " out of range for " + std::to_string(n) + " shards");
+  const std::size_t total = sw.cells.size() * sw.replications;
+  shard sh;
+  sh.index = k;
+  sh.count = n;
+  // Balanced contiguous ranges: floor(k * total / n) boundaries give
+  // sizes that differ by at most one and tile [0, total) exactly.
+  sh.first = k * total / n;
+  sh.last = (k + 1) * total / n;
+  sh.sweep = sw;
+  return sh;
+}
+
+std::vector<shard> plan_shards(const api::sweep& sw, std::size_t n) {
+  require(n >= 1, "plan_shards: need at least one shard");
+  std::vector<shard> out;
+  out.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) out.push_back(plan_shard(sw, k, n));
+  return out;
+}
+
+shard_aggregate run_shard(const api::engine& engine, const shard& sh,
+                          std::size_t n_threads) {
+  const api::sweep& sw = sh.sweep;
+  const std::size_t total = sw.cells.size() * sw.replications;
+  require(sh.first <= sh.last && sh.last <= total,
+          "run_shard: shard range exceeds the sweep's item stream");
+
+  shard_aggregate out;
+  out.shard_index = sh.index;
+  out.shard_count = sh.count;
+  out.first_item = sh.first;
+  out.last_item = sh.last;
+  out.grid_cells = sw.cells.size();
+  out.replications = sw.replications;
+  out.seed = sw.seed;
+  out.reseed = sw.reseed;
+  out.pair_by_load = sw.pair_by_load;
+  out.cells.resize(sw.cells.size());
+  for (std::size_t i = 0; i < sw.cells.size(); ++i) {
+    out.cells[i].cell = i;
+    out.cells[i].label = sw.cells[i].describe();
+    out.cells[i].load = sw.cells[i].load.describe();
+    out.cells[i].policy = sw.cells[i].policy;
+    out.cells[i].fidelity = api::name(sw.cells[i].model);
+  }
+  if (sh.first == sh.last) return out;
+
+  // Expand the slice into the exact effective scenarios the full sweep
+  // would evaluate: api::replicate with *global* (cell, replication)
+  // indices, then run verbatim (reseed off, one replication per item).
+  // Duplicate items within the slice still collapse into the cell cache.
+  const std::vector<std::size_t> groups =
+      sw.reseed && sw.pair_by_load ? api::load_groups(sw)
+                                   : std::vector<std::size_t>{};
+  api::sweep slice;
+  slice.replications = 1;
+  slice.reseed = false;
+  slice.seed = sw.seed;
+  slice.cells.reserve(sh.last - sh.first);
+  for (std::size_t item = sh.first; item < sh.last; ++item) {
+    const std::size_t cell = item / sw.replications;
+    const std::size_t rep = item % sw.replications;
+    slice.cells.push_back(groups.empty()
+                              ? api::replicate(sw, cell, rep)
+                              : api::replicate(sw, cell, rep, groups));
+  }
+
+  api::callback_sink sink{[&](const api::sweep_result& r) {
+    // Slice grid index -> global item -> original cell.
+    const std::size_t item = sh.first + r.cell;
+    out.cells[item / sw.replications].agg.add(r.result, r.cache_hit);
+  }};
+  out.stats = engine.run_sweep(slice, sink, n_threads);
+  return out;
+}
+
+shard_aggregate merge_shards(std::vector<shard_aggregate> parts) {
+  require(!parts.empty(), "merge_shards: need at least one shard aggregate");
+  // Stream order: merging left to right keeps the Chan combine's
+  // rounding independent of the order the files were passed in.
+  std::sort(parts.begin(), parts.end(),
+            [](const shard_aggregate& a, const shard_aggregate& b) {
+              // last_item tie-break orders an empty shard [X, X) before
+              // the non-empty [X, Y) it abuts.
+              return a.first_item != b.first_item
+                         ? a.first_item < b.first_item
+                         : a.last_item < b.last_item;
+            });
+
+  shard_aggregate out = std::move(parts.front());
+  const std::size_t total = out.grid_cells * out.replications;
+  for (std::size_t p = 1; p < parts.size(); ++p) {
+    shard_aggregate& part = parts[p];
+    require(part.grid_cells == out.grid_cells &&
+                part.replications == out.replications &&
+                part.seed == out.seed && part.reseed == out.reseed &&
+                part.pair_by_load == out.pair_by_load &&
+                part.shard_count == out.shard_count,
+            "merge_shards: shard " + std::to_string(p) +
+                " disagrees on the sweep shape");
+    require(part.cells.size() == out.cells.size(),
+            "merge_shards: shard " + std::to_string(p) +
+                " carries a different cell count");
+    require(part.first_item == out.last_item,
+            part.first_item < out.last_item
+                ? "merge_shards: overlapping shard ranges at item " +
+                      std::to_string(part.first_item)
+                : "merge_shards: gap in shard coverage at item " +
+                      std::to_string(out.last_item));
+    for (std::size_t i = 0; i < out.cells.size(); ++i) {
+      const cell_record& theirs = part.cells[i];
+      cell_record& ours = out.cells[i];
+      require(theirs.label == ours.label && theirs.load == ours.load &&
+                  theirs.policy == ours.policy &&
+                  theirs.fidelity == ours.fidelity,
+              "merge_shards: cell " + std::to_string(i) +
+                  " descriptors disagree between shards");
+      ours.agg.merge(theirs.agg);
+    }
+    out.last_item = part.last_item;
+    out.stats.runs += part.stats.runs;
+    out.stats.evaluated += part.stats.evaluated;
+    out.stats.cache_hits += part.stats.cache_hits;
+    out.stats.failures += part.stats.failures;
+  }
+  require(out.first_item == 0 && out.last_item == total,
+          "merge_shards: shards cover [" + std::to_string(out.first_item) +
+              ", " + std::to_string(out.last_item) + ") of [0, " +
+              std::to_string(total) + ")");
+  // The merged aggregate speaks for the whole stream.
+  out.shard_index = 0;
+  out.shard_count = 1;
+  return out;
+}
+
+std::vector<api::cell_summary> summaries(const shard_aggregate& agg) {
+  std::vector<api::cell_summary> out(agg.cells.size());
+  for (std::size_t i = 0; i < agg.cells.size(); ++i) {
+    out[i].cell = agg.cells[i].cell;
+    out[i].label = agg.cells[i].label;
+    out[i].load = agg.cells[i].load;
+    out[i].policy = agg.cells[i].policy;
+    out[i].fidelity = agg.cells[i].fidelity;
+    agg.cells[i].agg.finalize(out[i]);
+  }
+  return out;
+}
+
+}  // namespace bsched::dist

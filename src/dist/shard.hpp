@@ -1,0 +1,122 @@
+// Distributed sweeps: sharding a replicated scenario grid across
+// processes (or hosts) and merging the per-cell aggregates back.
+//
+// A sweep is one deterministic value: every (cell, replication) item
+// derives its seeds from *global* indices (api::replicate -> rng::derive),
+// so any contiguous slice of the flattened item stream can be reproduced
+// anywhere — no shared state, no coordination. `plan_shards` partitions
+// the stream [0, cells x replications) into n balanced contiguous ranges
+// (cells outer, replication ranges inner); `run_shard` expands its range
+// into the exact effective scenarios the full sweep would have run
+// (verbatim, reseed off) and folds the results into one mergeable
+// api::cell_accumulator per *original* grid cell; `merge_shards` checks
+// that a set of shard aggregates tiles the stream exactly once and folds
+// them in stream order. The merged result reproduces a single-process
+// engine::run_sweep + api::summarize exactly for n/failures/min/max (and
+// for quantiles up to the digest budget), and to ulp-scale rounding for
+// mean/stddev/CI — the Chan/Welford combine is associative only up to
+// floating-point rounding. Cache accounting (evaluated/cache_hits) is
+// per-process: a duplicate item pair split across two shards is evaluated
+// twice, so those counters are reported but not part of the equivalence
+// contract.
+//
+// Serialization of shard aggregates lives in dist/codec.hpp; the CLI
+// pipeline is tools/sweep_worker + tools/sweep_merge.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "api/sweep.hpp"
+
+namespace bsched::dist {
+
+/// Shard k of n: a contiguous range of a sweep's flattened item stream.
+/// Item i is (cell, replication) = (i / replications, i % replications).
+/// Carries the full original sweep by value, so a shard is
+/// self-contained — ship it to a worker and run it there.
+struct shard {
+  std::size_t index = 0;  ///< k in "shard k of count".
+  std::size_t count = 1;  ///< n — how many shards the plan produced.
+  std::size_t first = 0;  ///< First global item of this shard.
+  std::size_t last = 0;   ///< One past the last global item.
+  api::sweep sweep;
+};
+
+/// Deterministically partitions `sw` into `n` shards with balanced
+/// contiguous item ranges (sizes differ by at most one; empty ranges are
+/// allowed when n exceeds the item count). The ranges tile
+/// [0, cells x replications) exactly, so the union of the shards is the
+/// original (cell, replication) seed stream. Throws bsched::error when
+/// n == 0.
+[[nodiscard]] std::vector<shard> plan_shards(const api::sweep& sw,
+                                             std::size_t n);
+
+/// Shard k of the n-shard plan alone — what a worker process wants
+/// (plan_shards(sw, n)[k] without copying the sweep into all n shards;
+/// the boundaries are closed-form). Throws bsched::error when k >= n.
+[[nodiscard]] shard plan_shard(const api::sweep& sw, std::size_t k,
+                               std::size_t n);
+
+/// One grid cell's slice of a shard aggregate: the self-describing
+/// scenario columns next to the mergeable accumulator state.
+struct cell_record {
+  std::size_t cell = 0;
+  std::string label;     ///< sweep.cells[cell].describe().
+  std::string load;      ///< load_spec::describe().
+  std::string policy;    ///< Policy spec string.
+  std::string fidelity;  ///< api::name(model).
+  api::cell_accumulator agg;
+
+  friend bool operator==(const cell_record&, const cell_record&) = default;
+};
+
+/// The portable result of running one shard: the sweep's shape (for
+/// merge-time validation), the shard's item range, per-process run
+/// accounting and one cell_record per original grid cell (cells the
+/// range does not touch carry empty accumulators and merge as no-ops).
+/// dist::codec serializes this to a line-oriented text format.
+struct shard_aggregate {
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  std::size_t first_item = 0;
+  std::size_t last_item = 0;
+  std::size_t grid_cells = 0;    ///< sweep.cells.size().
+  std::size_t replications = 0;  ///< sweep.replications.
+  std::uint64_t seed = 0;        ///< sweep.seed.
+  bool reseed = true;
+  bool pair_by_load = false;
+  api::sweep_stats stats;  ///< Per-process accounting of the slice run.
+  std::vector<cell_record> cells;
+
+  friend bool operator==(const shard_aggregate&,
+                         const shard_aggregate&) = default;
+};
+
+/// Runs a shard's slice on `n_threads` workers and aggregates it: the
+/// shard's items are expanded through api::replicate with their global
+/// indices (so the slice reproduces exactly what the full sweep would
+/// run), evaluated as a verbatim sub-sweep — duplicate items within the
+/// shard still dedupe — and folded per original grid cell. Aggregates
+/// are identical for any worker-thread count.
+[[nodiscard]] shard_aggregate run_shard(const api::engine& engine,
+                                        const shard& sh,
+                                        std::size_t n_threads = 0);
+
+/// Folds shard aggregates of one sweep into a single aggregate covering
+/// the whole stream. Validates that every part agrees on the sweep shape
+/// (cells/replications/seed/flags/shard count) and cell descriptors, and
+/// that the item ranges tile [0, cells x replications) exactly once;
+/// merging happens in stream order, so the result is independent of the
+/// order the parts are passed in. Throws bsched::error on overlap, gaps
+/// or shape mismatch.
+[[nodiscard]] shard_aggregate merge_shards(std::vector<shard_aggregate> parts);
+
+/// The cell_summary rows of an aggregate — what api::summarize would
+/// report for the covered items (descriptor columns carried through).
+[[nodiscard]] std::vector<api::cell_summary> summaries(
+    const shard_aggregate& agg);
+
+}  // namespace bsched::dist

@@ -22,6 +22,38 @@ std::string csv_escape(std::string_view field) {
   return out;
 }
 
+std::vector<std::string> csv_parse_line(std::string_view line) {
+  std::vector<std::string> out;
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char ch = line[i];
+    if (quoted) {
+      if (ch == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          ++i;  // escaped quote
+        } else {
+          quoted = false;
+        }
+      } else {
+        field.push_back(ch);
+      }
+    } else if (ch == '"') {
+      quoted = true;
+    } else if (ch == ',') {
+      out.push_back(std::move(field));
+      field.clear();
+    } else {
+      field.push_back(ch);
+    }
+  }
+  require(!quoted, "csv_parse_line: unbalanced quote in '" +
+                       std::string{line} + "'");
+  out.push_back(std::move(field));
+  return out;
+}
+
 std::string format_double(double value, int digits) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.*f", digits, value);

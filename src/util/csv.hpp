@@ -36,6 +36,12 @@ class csv_writer {
 /// Escapes a single CSV field per RFC 4180 (exposed for testing).
 [[nodiscard]] std::string csv_escape(std::string_view field);
 
+/// Splits one CSV line into its fields, undoing csv_escape quoting (the
+/// csv_writer inverse; fields never span lines here). Used by
+/// tools/sweep_merge to read a reference CSV back for comparison.
+/// Throws bsched::error on unbalanced quotes.
+[[nodiscard]] std::vector<std::string> csv_parse_line(std::string_view line);
+
 /// Formats a double with `digits` places, trimming trailing zeros.
 [[nodiscard]] std::string format_double(double value, int digits = 6);
 

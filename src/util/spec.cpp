@@ -45,7 +45,27 @@ void spec::require_only(std::initializer_list<const char*> allowed) const {
     const bool known = std::any_of(
         allowed.begin(), allowed.end(),
         [&](const char* a) { return key == a; });
-    require(known, "spec '" + name + "': unknown parameter '" + key + "'");
+    if (known) continue;
+    // Name the offending key *and* the accepted set, so a typo like
+    // "opt:max_nodez=1" tells the user what was meant to be written.
+    std::string msg = "spec '";
+    msg += name;
+    msg += "': unknown parameter '";
+    msg += key;
+    msg += '\'';
+    if (allowed.size() == 0) {
+      msg += " (accepts no parameters)";
+    } else {
+      msg += " (accepted: ";
+      bool first = true;
+      for (const char* a : allowed) {
+        if (!first) msg += ", ";
+        msg += a;
+        first = false;
+      }
+      msg += ')';
+    }
+    throw error(msg);
   }
 }
 

@@ -31,7 +31,8 @@ struct spec {
                                        const std::string& fallback) const;
 
   /// Throws bsched::error when a parameter outside `allowed` was given —
-  /// catches typos like "random:sede=42" at construction time.
+  /// catches typos like "random:sede=42" at construction time. The error
+  /// names the offending key and lists the accepted set.
   void require_only(std::initializer_list<const char*> allowed) const;
 
   /// Renders back to "name:key=value,..." (params in sorted key order).

@@ -1,0 +1,128 @@
+#include "util/tdigest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace bsched {
+
+namespace {
+
+/// k1 scale function of the merging t-digest: maps a quantile to the
+/// "centroid index" space in which every kept centroid may span at most
+/// one unit. Steep near q = 0 and q = 1, so tails stay fine-grained.
+double k1_scale(double q, double compression) {
+  q = std::clamp(q, 0.0, 1.0);
+  return compression / (2.0 * std::numbers::pi) * std::asin(2.0 * q - 1.0);
+}
+
+}  // namespace
+
+tdigest::tdigest(std::size_t max_centroids)
+    : max_centroids_(std::max<std::size_t>(max_centroids, 4)) {}
+
+void tdigest::add(double x, double weight) {
+  require(weight > 0, "tdigest: sample weight must be positive");
+  const auto pos = std::upper_bound(
+      centroids_.begin(), centroids_.end(), x,
+      [](double v, const centroid& c) { return v < c.mean; });
+  centroids_.insert(pos, centroid{x, weight});
+  weight_ += weight;
+  if (centroids_.size() > max_centroids_) compress();
+}
+
+void tdigest::merge(const tdigest& other) {
+  if (other.centroids_.empty()) {
+    max_centroids_ = std::max(max_centroids_, other.max_centroids_);
+    return;
+  }
+  std::vector<centroid> merged;
+  merged.reserve(centroids_.size() + other.centroids_.size());
+  std::merge(centroids_.begin(), centroids_.end(), other.centroids_.begin(),
+             other.centroids_.end(), std::back_inserter(merged),
+             [](const centroid& a, const centroid& b) {
+               return a.mean < b.mean;
+             });
+  centroids_ = std::move(merged);
+  weight_ += other.weight_;
+  max_centroids_ = std::max(max_centroids_, other.max_centroids_);
+  if (centroids_.size() > max_centroids_) compress();
+}
+
+void tdigest::compress() {
+  if (centroids_.size() <= 1) return;
+  // One greedy left-to-right merging pass: absorb the next centroid into
+  // the current one while the combined k1 span stays within one unit.
+  // With compression = max_centroids_ the k range is max_centroids_ / 2,
+  // so the pass lands comfortably under the budget.
+  const double compression = static_cast<double>(max_centroids_);
+  std::vector<centroid> out;
+  out.reserve(max_centroids_);
+  out.push_back(centroids_.front());
+  double cum = 0;  // weight strictly before out.back()
+  for (std::size_t i = 1; i < centroids_.size(); ++i) {
+    const centroid& next = centroids_[i];
+    centroid& cur = out.back();
+    const double q0 = cum / weight_;
+    const double q2 = (cum + cur.weight + next.weight) / weight_;
+    if (k1_scale(q2, compression) - k1_scale(q0, compression) <= 1.0) {
+      // Weighted mean; weights are positive so the denominator is too.
+      const double w = cur.weight + next.weight;
+      cur.mean = (cur.mean * cur.weight + next.mean * next.weight) / w;
+      cur.weight = w;
+    } else {
+      cum += cur.weight;
+      out.push_back(next);
+    }
+  }
+  centroids_ = std::move(out);
+}
+
+double tdigest::quantile(double q) const {
+  if (centroids_.empty()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (centroids_.size() == 1) return centroids_.front().mean;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * weight_;
+  // Each centroid's mass is centered at its mean: centroid i covers the
+  // midpoint position cum_i + w_i / 2. Interpolate linearly between
+  // consecutive midpoints; clamp to the extreme means beyond them.
+  double cum = 0;
+  double prev_center = 0;
+  for (std::size_t i = 0; i < centroids_.size(); ++i) {
+    const double center = cum + centroids_[i].weight / 2.0;
+    if (target < center) {
+      if (i == 0) return centroids_.front().mean;
+      const double span = center - prev_center;
+      const double t = span > 0 ? (target - prev_center) / span : 0.0;
+      return centroids_[i - 1].mean +
+             t * (centroids_[i].mean - centroids_[i - 1].mean);
+    }
+    cum += centroids_[i].weight;
+    prev_center = center;
+  }
+  return centroids_.back().mean;
+}
+
+tdigest tdigest::from_centroids(std::size_t max_centroids,
+                                std::vector<centroid> cs) {
+  tdigest out{max_centroids};
+  double total = 0;
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    require(cs[i].weight > 0,
+            "tdigest: serialized centroid weight must be positive");
+    require(i == 0 || cs[i - 1].mean <= cs[i].mean,
+            "tdigest: serialized centroids must be sorted by mean");
+    total += cs[i].weight;
+  }
+  out.centroids_ = std::move(cs);
+  out.weight_ = total;
+  if (out.centroids_.size() > out.max_centroids_) out.compress();
+  return out;
+}
+
+}  // namespace bsched

@@ -1,0 +1,72 @@
+// A small fixed-budget mergeable t-digest (Dunning's merging variant).
+//
+// The sweep statistics need per-cell lifetime and residual-charge
+// quantiles that survive the shard -> serialize -> merge pipeline of
+// src/dist: a sketch whose merge is cheap, order-insensitive in the
+// centroids it keeps, and exactly serializable. Centroids are (mean,
+// weight) pairs kept sorted by mean; while the number of observations is
+// at or below the centroid budget the digest stores every sample as a
+// singleton, so quantiles — and shard merges — are *exact*. Past the
+// budget a merging pass with the k1 scale function (asin, quantile-aware:
+// fine near the tails, coarse in the middle) compresses adjacent
+// centroids, and quantiles become the usual t-digest approximation
+// (piecewise-linear between centroid means).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bsched {
+
+/// One t-digest centroid: the weighted mean of the samples it absorbed.
+struct centroid {
+  double mean = 0;
+  double weight = 0;
+
+  friend bool operator==(const centroid&, const centroid&) = default;
+};
+
+class tdigest {
+ public:
+  /// `max_centroids` is the retention budget: compression runs only when
+  /// the centroid count exceeds it, so up to `max_centroids` samples the
+  /// digest is exact.
+  explicit tdigest(std::size_t max_centroids = 64);
+
+  /// Folds one sample (or a pre-weighted centroid) into the digest.
+  void add(double x, double weight = 1.0);
+
+  /// Folds another digest in (sorted centroid union, then compression if
+  /// over budget). The result adopts the larger of the two budgets.
+  void merge(const tdigest& other);
+
+  /// Quantile estimate for q in [0, 1] (clamped): piecewise-linear
+  /// interpolation between centroid means, exact while uncompressed.
+  /// NaN on an empty digest.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] double total_weight() const noexcept { return weight_; }
+  [[nodiscard]] std::size_t max_centroids() const noexcept {
+    return max_centroids_;
+  }
+  /// Centroids sorted by mean (exposed for serialization).
+  [[nodiscard]] const std::vector<centroid>& centroids() const noexcept {
+    return centroids_;
+  }
+
+  /// Rebuilds a digest from serialized centroids (dist::codec decode).
+  /// Throws bsched::error on non-positive weights or unsorted means.
+  [[nodiscard]] static tdigest from_centroids(std::size_t max_centroids,
+                                              std::vector<centroid> cs);
+
+  friend bool operator==(const tdigest&, const tdigest&) = default;
+
+ private:
+  void compress();
+
+  std::size_t max_centroids_;
+  double weight_ = 0;
+  std::vector<centroid> centroids_;  ///< Sorted by mean.
+};
+
+}  // namespace bsched

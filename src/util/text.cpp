@@ -1,0 +1,42 @@
+#include "util/text.hpp"
+
+#include <charconv>
+
+#include "util/error.hpp"
+
+namespace bsched {
+
+namespace {
+
+template <class T>
+T parse_full(std::string_view text, const std::string& what) {
+  T value{};
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    std::string msg = what;
+    msg += ": not a valid number: '";
+    msg += text;
+    msg += '\'';
+    throw error(msg);
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string shortest_double(double v) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, ptr);
+}
+
+double parse_double(std::string_view text, const std::string& what) {
+  return parse_full<double>(text, what);
+}
+
+std::uint64_t parse_u64(std::string_view text, const std::string& what) {
+  return parse_full<std::uint64_t>(text, what);
+}
+
+}  // namespace bsched

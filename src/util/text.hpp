@@ -1,0 +1,29 @@
+// Portable number <-> text round-tripping.
+//
+// The sweep codec (dist/codec.hpp) and the declarative spec descriptions
+// (load_spec::describe()) both need doubles rendered so that reading the
+// text back reproduces the original value bit-exactly on any platform.
+// std::to_chars gives the shortest decimal form with that guarantee; the
+// parsers here are its strict full-string inverses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace bsched {
+
+/// Shortest decimal form that parses back to exactly `v` (std::to_chars
+/// round-trip guarantee), e.g. "0.1", "5.5", "1e-09".
+[[nodiscard]] std::string shortest_double(double v);
+
+/// Parses a full-string double (the shortest_double inverse). Throws
+/// bsched::error naming `what` when the text is not exactly one number.
+[[nodiscard]] double parse_double(std::string_view text,
+                                  const std::string& what);
+
+/// Parses a full-string unsigned 64-bit integer; throws like parse_double.
+[[nodiscard]] std::uint64_t parse_u64(std::string_view text,
+                                      const std::string& what);
+
+}  // namespace bsched

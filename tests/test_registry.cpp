@@ -89,6 +89,42 @@ TEST(Registry, RejectsUnknownNamesAndParameters) {
   EXPECT_THROW((void)make_policy("fixed:decisions=0;1"), error);
 }
 
+TEST(Registry, UnknownParameterNamesTheAcceptedSet) {
+  // A typo'd search knob must say what it saw *and* what it accepts, so
+  // "opt:max_nodez=1" points straight at "max_nodes".
+  const auto message_of = [](const registry& r, const std::string& text) {
+    try {
+      (void)r.make(text);
+      ADD_FAILURE() << text << " should have thrown";
+      return std::string{};
+    } catch (const error& e) {
+      return std::string{e.what()};
+    }
+  };
+  const registry model = opt::model_registry();
+  const std::string opt_msg = message_of(model, "opt:max_nodez=1");
+  EXPECT_NE(opt_msg.find("max_nodez"), std::string::npos) << opt_msg;
+  EXPECT_NE(opt_msg.find("max_nodes"), std::string::npos) << opt_msg;
+  EXPECT_NE(opt_msg.find("prune"), std::string::npos) << opt_msg;
+  EXPECT_NE(opt_msg.find("max_memo_entries"), std::string::npos) << opt_msg;
+
+  const std::string random_msg =
+      message_of(registry::global(), "random:sede=42");
+  EXPECT_NE(random_msg.find("sede"), std::string::npos) << random_msg;
+  EXPECT_NE(random_msg.find("accepted: seed"), std::string::npos)
+      << random_msg;
+
+  // Parameter-less policies say so instead of listing an empty set.
+  const std::string bare_msg =
+      message_of(registry::global(), "sequential:x=1");
+  EXPECT_NE(bare_msg.find("accepts no parameters"), std::string::npos)
+      << bare_msg;
+
+  // Malformed values still name the key and value.
+  const std::string value_msg = message_of(model, "opt:max_nodes=soon");
+  EXPECT_NE(value_msg.find("max_nodes=soon"), std::string::npos) << value_msg;
+}
+
 TEST(Registry, ModelRegistryAddsTheModelAwarePolicies) {
   // opt::model_registry layers "opt" / "worst" / "lookahead:horizon=N"
   // over the blind built-ins; all three construct unbound (they plan

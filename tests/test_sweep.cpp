@@ -13,6 +13,7 @@
 #include "api/scenario.hpp"
 #include "api/sweep.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace bsched::api {
 namespace {
@@ -452,6 +453,178 @@ TEST(SweepPaired, FailingSidesAreSkippedPerReplication) {
   EXPECT_EQ(p.n, 0u);
   EXPECT_EQ(p.skipped, sw.replications);
   EXPECT_EQ(p.mean_diff_min, 0.0);
+}
+
+TEST(SweepSummarize, SummariesCarryScenarioDescriptors) {
+  // cell_summary is self-describing: the load description (a parse()
+  // round-trip), the policy spec and the fidelity name ride on the row,
+  // so CSV output and merged shard aggregates need no grid rebuild.
+  sweep sw = random_grid(2);
+  const summarize sink{sw};
+  ASSERT_EQ(sink.cells().size(), sw.cells.size());
+  for (std::size_t i = 0; i < sw.cells.size(); ++i) {
+    const cell_summary& c = sink.cells()[i];
+    EXPECT_EQ(c.label, sw.cells[i].describe());
+    EXPECT_EQ(c.load, sw.cells[i].load.describe());
+    EXPECT_EQ(load_spec::parse(c.load), sw.cells[i].load);
+    EXPECT_EQ(c.policy, sw.cells[i].policy);
+    EXPECT_EQ(c.fidelity, "discrete");
+  }
+}
+
+TEST(SweepSummarize, QuantilesTrackTheLifetimeDistribution) {
+  const engine eng;
+  const sweep sw = random_grid(12);
+  summarize sink{sw};
+  eng.run_sweep(sw, sink, 2);
+  for (const cell_summary& c : sink.cells()) {
+    ASSERT_EQ(c.n, 12u) << c.label;
+    EXPECT_GE(c.p10_min, c.min_min) << c.label;
+    EXPECT_LE(c.p10_min, c.p50_min) << c.label;
+    EXPECT_LE(c.p50_min, c.p90_min) << c.label;
+    EXPECT_LE(c.p90_min, c.max_min) << c.label;
+    EXPECT_GT(c.p50_residual_amin, 0.0) << c.label;
+  }
+
+  // A deterministic cell's distribution collapses to its single value.
+  sweep det;
+  det.cells.push_back(base_cell(load::test_load::cl_250, "best_of_n"));
+  det.replications = 5;
+  summarize dsink{det};
+  eng.run_sweep(det, dsink, 1);
+  const cell_summary& c = dsink.cells()[0];
+  EXPECT_EQ(c.p10_min, c.mean_min);
+  EXPECT_EQ(c.p50_min, c.mean_min);
+  EXPECT_EQ(c.p90_min, c.mean_min);
+}
+
+TEST(SweepSummarize, MergeMatchesSequentialAggregation) {
+  // The distributed-sweep contract at the sink level: summaries built
+  // over disjoint replication slices and merged reproduce the sequential
+  // summary — counts/extrema/quantiles exactly (replications below the
+  // digest budget), moments to ulp-scale rounding of the Chan combine.
+  const engine eng;
+  const sweep sw = random_grid(6);
+
+  summarize ref{sw};
+  summarize front{sw};
+  summarize back{sw};
+  eng.run_sweep(sw, [&](const sweep_result& r) {
+    ref.consume(r);
+    (r.replication < 3 ? front : back).consume(r);
+  });
+
+  front.merge(back);
+  ASSERT_EQ(front.cells().size(), ref.cells().size());
+  for (std::size_t i = 0; i < ref.cells().size(); ++i) {
+    const cell_summary& m = front.cells()[i];
+    const cell_summary& r = ref.cells()[i];
+    EXPECT_EQ(m.label, r.label);
+    EXPECT_EQ(m.n, r.n);
+    EXPECT_EQ(m.failures, r.failures);
+    EXPECT_EQ(m.cache_hits, r.cache_hits);
+    EXPECT_EQ(m.min_min, r.min_min);
+    EXPECT_EQ(m.max_min, r.max_min);
+    EXPECT_EQ(m.p10_min, r.p10_min);
+    EXPECT_EQ(m.p50_min, r.p50_min);
+    EXPECT_EQ(m.p90_min, r.p90_min);
+    EXPECT_EQ(m.p50_residual_amin, r.p50_residual_amin);
+    EXPECT_NEAR(m.mean_min, r.mean_min, 1e-9 * (1.0 + r.mean_min));
+    EXPECT_NEAR(m.stddev_min, r.stddev_min, 1e-9 * (1.0 + r.stddev_min));
+    EXPECT_NEAR(m.ci95_min, r.ci95_min, 1e-9 * (1.0 + r.ci95_min));
+  }
+}
+
+TEST(SweepSummarize, MergeRejectsDifferentSweeps) {
+  const sweep a = random_grid(2);
+  sweep b = random_grid(2);
+  summarize sa{a};
+
+  b.cells.pop_back();
+  const summarize shorter{b};
+  EXPECT_THROW(sa.merge(shorter), error);
+
+  sweep c = random_grid(2);
+  c.cells[0].policy = "sequential";
+  const summarize different{c};
+  EXPECT_THROW(sa.merge(different), error);
+}
+
+namespace {
+
+run_result observation(double lifetime_min, double residual_amin) {
+  run_result r;
+  r.sim.lifetime_min = lifetime_min;
+  r.sim.residual_amin = residual_amin;
+  return r;
+}
+
+}  // namespace
+
+TEST(SweepSummarize, AccumulatorMergeIsCommutativeAndAssociative) {
+  // The Chan/Welford combine and the digest merge behind shard merging:
+  // counts/extrema/digests combine exactly in any grouping and order;
+  // the moments agree to ulp-scale rounding.
+  rng gen{42};
+  const auto fill = [&](std::size_t count) {
+    cell_accumulator acc;
+    for (std::size_t i = 0; i < count; ++i) {
+      acc.add(observation(100.0 + 400.0 * gen.uniform(), gen.uniform()),
+              false);
+    }
+    return acc;
+  };
+  const cell_accumulator a = fill(7);
+  const cell_accumulator b = fill(3);
+  const cell_accumulator c = fill(5);
+
+  cell_accumulator ab = a;
+  ab.merge(b);
+  cell_accumulator ba = b;
+  ba.merge(a);
+  // Commutative: everything but the floating-point rounding of the
+  // moments is identical; the digests differ only in the order equal
+  // means were queued, which our data does not produce.
+  EXPECT_EQ(ab.n, ba.n);
+  EXPECT_EQ(ab.min, ba.min);
+  EXPECT_EQ(ab.max, ba.max);
+  EXPECT_EQ(ab.lifetime, ba.lifetime);
+  EXPECT_EQ(ab.residual, ba.residual);
+  EXPECT_NEAR(ab.mean, ba.mean, 1e-9 * ab.mean);
+  EXPECT_NEAR(ab.m2, ba.m2, 1e-6 * (1.0 + ab.m2));
+
+  // Associative: (a + b) + c vs a + (b + c).
+  cell_accumulator left = ab;
+  left.merge(c);
+  cell_accumulator bc = b;
+  bc.merge(c);
+  cell_accumulator right = a;
+  right.merge(bc);
+  EXPECT_EQ(left.n, right.n);
+  EXPECT_EQ(left.min, right.min);
+  EXPECT_EQ(left.max, right.max);
+  EXPECT_EQ(left.lifetime, right.lifetime);
+  EXPECT_NEAR(left.mean, right.mean, 1e-9 * left.mean);
+  EXPECT_NEAR(left.m2, right.m2, 1e-6 * (1.0 + left.m2));
+
+  // The empty accumulator is the exact identity on either side.
+  cell_accumulator from_empty;
+  from_empty.merge(a);
+  EXPECT_EQ(from_empty, a);
+  cell_accumulator onto_empty = a;
+  onto_empty.merge(cell_accumulator{});
+  EXPECT_EQ(onto_empty, a);
+
+  // Failures and cache hits sum through merges.
+  cell_accumulator failing;
+  run_result failed;
+  failed.error = "boom";
+  failing.add(failed, true);
+  cell_accumulator total = a;
+  total.merge(failing);
+  EXPECT_EQ(total.n, a.n);
+  EXPECT_EQ(total.failures, 1u);
+  EXPECT_EQ(total.cache_hits, 1u);
 }
 
 TEST(SweepSummarize, EmptySweepAndZeroReplicationsAreNoOps) {

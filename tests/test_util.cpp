@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <bit>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -10,6 +11,8 @@
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+#include "util/tdigest.hpp"
+#include "util/text.hpp"
 
 namespace bsched {
 namespace {
@@ -179,6 +182,122 @@ TEST(TextTable, PadsShortRows) {
   text_table t{{"a", "b", "c"}};
   t.row({"only"});
   EXPECT_NO_THROW({ const auto s = t.str(); });
+}
+
+TEST(Text, ShortestDoubleRoundTripsExactly) {
+  // The codec's portability contract: to_chars shortest form parses back
+  // to the identical bits, including awkward decimals and tiny values.
+  for (const double v : {0.0, 1.0, -1.0, 0.1, 5.5, 1.0 / 3.0, 6.1875e-4,
+                         1e-9, 123456.789, -2.5e17}) {
+    const std::string text = shortest_double(v);
+    EXPECT_EQ(parse_double(text, "test"), v) << text;
+  }
+  EXPECT_EQ(shortest_double(5.5), "5.5");
+  EXPECT_EQ(shortest_double(1.0), "1");
+}
+
+TEST(Text, ParsersRejectTrailingGarbage) {
+  EXPECT_EQ(parse_u64("42", "test"), 42u);
+  EXPECT_THROW((void)parse_double("1.5x", "test"), error);
+  EXPECT_THROW((void)parse_double("", "test"), error);
+  EXPECT_THROW((void)parse_u64("-3", "test"), error);
+  try {
+    (void)parse_double("nope", "field mean");
+    FAIL() << "should have thrown";
+  } catch (const error& e) {
+    EXPECT_NE(std::string{e.what()}.find("field mean"), std::string::npos);
+    EXPECT_NE(std::string{e.what()}.find("nope"), std::string::npos);
+  }
+}
+
+TEST(Csv, ParseLineInvertsEscape) {
+  const std::vector<std::string> fields{
+      "plain", "with,comma", "with \"quotes\"", "", "mix,\"of\",both"};
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) line += ',';
+    line += csv_escape(fields[i]);
+  }
+  EXPECT_EQ(csv_parse_line(line), fields);
+  EXPECT_EQ(csv_parse_line(""), std::vector<std::string>{""});
+  EXPECT_EQ(csv_parse_line("a,b"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_THROW((void)csv_parse_line("\"unbalanced"), error);
+}
+
+TEST(TDigest, ExactBelowTheCentroidBudget) {
+  // Up to max_centroids samples the digest keeps every observation, so
+  // quantiles are exact (midpoint interpolation over singletons).
+  tdigest d{8};
+  for (const double v : {5.0, 1.0, 3.0, 2.0, 4.0}) d.add(v);
+  EXPECT_EQ(d.centroids().size(), 5u);
+  EXPECT_EQ(d.total_weight(), 5.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 5.0);
+  // Monotone in q.
+  double prev = d.quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = d.quantile(q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+  // Empty and single-sample edges.
+  const tdigest empty{8};
+  EXPECT_TRUE(std::isnan(empty.quantile(0.5)));
+  tdigest one{8};
+  one.add(7.25);
+  EXPECT_DOUBLE_EQ(one.quantile(0.1), 7.25);
+  EXPECT_DOUBLE_EQ(one.quantile(0.9), 7.25);
+}
+
+TEST(TDigest, MergeEqualsBulkAddBelowTheBudget) {
+  // Shard equivalence at the sketch level: while nothing was compressed,
+  // merging partial digests is *identical* to having added every sample
+  // to one digest.
+  rng gen{7};
+  std::vector<double> values(20);
+  for (double& v : values) v = gen.uniform() * 100.0;
+
+  tdigest bulk{64};
+  tdigest a{64};
+  tdigest b{64};
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    bulk.add(values[i]);
+    (i % 2 == 0 ? a : b).add(values[i]);
+  }
+  tdigest merged = a;
+  merged.merge(b);
+  EXPECT_EQ(merged, bulk);
+
+  tdigest reversed = b;
+  reversed.merge(a);
+  EXPECT_EQ(reversed, bulk);
+}
+
+TEST(TDigest, CompressionBoundsCentroidsAndKeepsAccuracy) {
+  rng gen{11};
+  tdigest d{64};
+  const std::size_t samples = 10000;
+  for (std::size_t i = 0; i < samples; ++i) d.add(gen.uniform());
+  EXPECT_LE(d.centroids().size(), 64u);
+  EXPECT_GE(d.centroids().size(), 8u);
+  EXPECT_DOUBLE_EQ(d.total_weight(), static_cast<double>(samples));
+  // Uniform[0,1]: the quantile function is the identity; the sketch must
+  // stay close, tightest near the tails (k1 scale).
+  for (const double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    EXPECT_NEAR(d.quantile(q), q, 0.05) << "q=" << q;
+  }
+}
+
+TEST(TDigest, FromCentroidsValidatesAndRoundTrips) {
+  tdigest d{16};
+  for (const double v : {1.0, 2.0, 2.0, 8.0}) d.add(v);
+  EXPECT_EQ(tdigest::from_centroids(d.max_centroids(), d.centroids()), d);
+
+  EXPECT_THROW(
+      (void)tdigest::from_centroids(8, {{1.0, 1.0}, {0.5, 1.0}}), error);
+  EXPECT_THROW((void)tdigest::from_centroids(8, {{1.0, 0.0}}), error);
+  EXPECT_THROW((void)tdigest::from_centroids(8, {{1.0, -2.0}}), error);
 }
 
 }  // namespace

@@ -1,0 +1,114 @@
+// Shared pieces of the distributed-sweep CLI pipeline: the demo grid that
+// examples/scenario_sweep, sweep_worker and sweep_merge all evaluate (so
+// "worker x N -> merge" output is comparable against the single-process
+// example), plus the common summary table / CSV rendering. The CSV
+// column set is the contract the shard->merge CI smoke diffs against.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "api/scenario.hpp"
+#include "api/sweep.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace bsched::tools {
+
+/// The replicated random-load demo grid: five seeded random/markov
+/// workloads x two policies on 2 x B1, base seed 2009 (DSN).
+inline api::sweep demo_sweep(std::size_t replications) {
+  std::vector<api::load_spec> loads;
+  for (const char* text : {"random:count=40,p=0.3,seed=1",
+                           "random:count=40,p=0.5,seed=2",
+                           "random:count=40,p=0.8,seed=3",
+                           "markov:count=40,p=0.7,seed=4",
+                           "markov:count=40,p=0.9,seed=5"}) {
+    loads.push_back(api::load_spec::parse(text));
+  }
+  api::sweep sweep;
+  sweep.seed = 2009;  // DSN
+  sweep.replications = replications;
+  sweep.cells = api::cross({api::bank(2, kibam::battery_b1())}, loads,
+                           {"round_robin", "best_of_n"},
+                           {api::fidelity::discrete});
+  return sweep;
+}
+
+/// Self-describing summary CSV columns (cell descriptors carried on the
+/// row, so a CSV consumer never has to rebuild the grid).
+inline std::vector<std::string> summary_csv_header() {
+  return {"cell",       "label",      "load",     "policy",
+          "fidelity",   "n",          "failures", "mean_min",
+          "stddev_min", "ci95_min",   "min_min",  "max_min",
+          "p10_min",    "p50_min",    "p90_min",  "p50_residual_amin",
+          "cache_hits"};
+}
+
+inline std::vector<std::string> summary_csv_row(const api::cell_summary& c) {
+  return {std::to_string(c.cell),
+          c.label,
+          c.load,
+          c.policy,
+          c.fidelity,
+          std::to_string(c.n),
+          std::to_string(c.failures),
+          format_double(c.mean_min),
+          format_double(c.stddev_min),
+          format_double(c.ci95_min),
+          format_double(c.min_min),
+          format_double(c.max_min),
+          format_double(c.p10_min),
+          format_double(c.p50_min),
+          format_double(c.p90_min),
+          format_double(c.p50_residual_amin),
+          std::to_string(c.cache_hits)};
+}
+
+inline void write_summary_csv(const std::string& path,
+                              const std::vector<api::cell_summary>& cells) {
+  csv_writer csv{path, summary_csv_header()};
+  for (const api::cell_summary& c : cells) csv.row(summary_csv_row(c));
+  std::printf("wrote %zu summary rows to %s\n", csv.rows_written(),
+              path.c_str());
+}
+
+/// The per-cell statistics table scenario_sweep prints (and sweep_merge
+/// reproduces from merged shard aggregates).
+inline void print_summary_table(const std::vector<api::cell_summary>& cells) {
+  const auto fmt = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f", v);
+    return std::string{buf};
+  };
+  text_table table{{"cell", "n", "fail", "mean", "stddev", "ci95", "min",
+                    "max", "p50", "cached"}};
+  for (const api::cell_summary& c : cells) {
+    table.row({c.label, std::to_string(c.n), std::to_string(c.failures),
+               fmt(c.mean_min), fmt(c.stddev_min), fmt(c.ci95_min),
+               fmt(c.min_min), fmt(c.max_min), fmt(c.p50_min),
+               std::to_string(c.cache_hits)});
+  }
+  std::fputs(table.str().c_str(), stdout);
+}
+
+/// CLI helper: parses a non-negative integer argument or exits(2) naming
+/// the flag. Rejects negative input instead of letting stoul wrap it.
+inline std::size_t cli_number(const std::string& flag,
+                              const std::string& text) {
+  try {
+    if (!text.empty() && text.front() >= '0' && text.front() <= '9') {
+      std::size_t end = 0;
+      const unsigned long v = std::stoul(text, &end);
+      if (end == text.size()) return v;
+    }
+  } catch (const std::exception&) {
+  }
+  std::fprintf(stderr, "%s: not a non-negative number: '%s'\n", flag.c_str(),
+               text.c_str());
+  std::exit(2);
+}
+
+}  // namespace bsched::tools

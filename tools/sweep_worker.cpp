@@ -1,0 +1,92 @@
+// Shard worker of the distributed sweep pipeline: runs shard K of N of
+// the replicated random-load demo grid (tools/sweep_common.hpp — the
+// same grid examples/scenario_sweep evaluates) and emits the shard's
+// mergeable per-cell aggregates through dist::codec.
+//
+//   $ ./sweep_worker --shard K --of N [--replications R] [--threads T]
+//                    [--out FILE]
+//
+// The aggregate goes to FILE (or stdout with "-" / no --out; progress
+// then moves to stderr). Feed N such files to sweep_merge to reproduce
+// the single-process scenario_sweep statistics.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "api/engine.hpp"
+#include "dist/codec.hpp"
+#include "dist/shard.hpp"
+#include "sweep_common.hpp"
+#include "util/error.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bsched;
+
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  std::size_t replications = 30;
+  std::size_t n_threads = 0;
+  std::string out_path = "-";
+  bool have_shard = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--shard") {
+      shard_index = tools::cli_number(arg, value());
+      have_shard = true;
+    } else if (arg == "--of") {
+      shard_count = tools::cli_number(arg, value());
+    } else if (arg == "--replications") {
+      replications = tools::cli_number(arg, value());
+    } else if (arg == "--threads") {
+      n_threads = tools::cli_number(arg, value());
+    } else if (arg == "--out") {
+      out_path = value();
+    } else {
+      std::fprintf(stderr,
+                   "usage: sweep_worker --shard K --of N "
+                   "[--replications R] [--threads T] [--out FILE]\n");
+      return 2;
+    }
+  }
+  if (!have_shard || shard_index >= shard_count) {
+    std::fprintf(stderr,
+                 "sweep_worker: need --shard K --of N with K < N "
+                 "(got K=%zu, N=%zu)\n",
+                 shard_index, shard_count);
+    return 2;
+  }
+
+  try {
+    const api::sweep sweep = tools::demo_sweep(replications);
+    const dist::shard sh =
+        dist::plan_shard(sweep, shard_index, shard_count);
+    std::fprintf(stderr,
+                 "sweep_worker: shard %zu/%zu — items [%zu, %zu) of %zu "
+                 "(%zu cells x %zu replications)\n",
+                 shard_index, shard_count, sh.first, sh.last,
+                 sweep.cells.size() * sweep.replications,
+                 sweep.cells.size(), sweep.replications);
+
+    const api::engine engine;
+    const dist::shard_aggregate agg =
+        dist::run_shard(engine, sh, n_threads);
+    if (out_path == "-") {
+      dist::encode(agg, std::cout);
+    } else {
+      dist::write_file(agg, out_path);
+      std::fprintf(stderr, "sweep_worker: wrote %s (%zu runs, %zu failures)\n",
+                   out_path.c_str(), agg.stats.runs, agg.stats.failures);
+    }
+    return agg.stats.failures == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep_worker: %s\n", e.what());
+    return 1;
+  }
+}
