@@ -64,6 +64,41 @@ run_release() {
   "$dir/sweep_merge" --expect "$shard_dir/ref.csv" "$shard_dir"/shard*.agg \
     > /dev/null
   rm -rf "$shard_dir"
+  # Sweep-service crash-recovery smoke: a coordinator plus three live
+  # workers, one of which is kill -9'ed right after its first lease is
+  # granted (gated on the coordinator log so the kill always lands
+  # mid-campaign). The coordinator must re-queue the dead worker's range
+  # (asserted from the log) and the merged aggregate must still match
+  # the single-process reference through sweep_merge --expect.
+  local svc_dir serve_pid victim_pid port
+  svc_dir="$(mktemp -d)"
+  "$dir/scenario_sweep" --threads 2 --replications 300 \
+    --csv "$svc_dir/ref.csv" > /dev/null
+  "$dir/sweep_serve" --replications 300 --port 0 \
+    --port-file "$svc_dir/port" --workers-expected 3 --lease-timeout 2 \
+    --lease-items 500 --chunk 5 --deadline 120 --agg "$svc_dir/svc.agg" \
+    > /dev/null 2> "$svc_dir/serve.log" &
+  serve_pid=$!
+  for _ in $(seq 1 100); do [ -s "$svc_dir/port" ] && break; sleep 0.1; done
+  port="$(cat "$svc_dir/port")"
+  "$dir/sweep_worker" --connect "127.0.0.1:$port" --name victim --quiet \
+    2> /dev/null &
+  victim_pid=$!
+  for _ in $(seq 1 250); do
+    grep -q -- "-> worker 'victim'" "$svc_dir/serve.log" && break
+    sleep 0.02
+  done
+  kill -9 "$victim_pid"
+  "$dir/sweep_worker" --connect "127.0.0.1:$port" --name w1 --quiet \
+    2> /dev/null &
+  "$dir/sweep_worker" --connect "127.0.0.1:$port" --name w2 --quiet \
+    2> /dev/null &
+  wait "$serve_pid"
+  wait || true  # reap the killed victim without failing the script
+  grep -Eq "[1-9][0-9]* lease\(s\) re-queued" "$svc_dir/serve.log"
+  "$dir/sweep_merge" --expect "$svc_dir/ref.csv" "$svc_dir/svc.agg" \
+    > /dev/null
+  rm -rf "$svc_dir"
   "$dir/bench_table3" > /dev/null
   "$dir/bench_lookahead" > /dev/null
   if [ -x "$dir/bench_micro" ]; then

@@ -107,6 +107,8 @@ struct scenario {
 
   /// `label` when set, otherwise "<n>xC=<cap> | <load> | <policy> | <fid>".
   [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const scenario&, const scenario&) = default;
 };
 
 /// A bank of `count` identical batteries.

@@ -10,17 +10,9 @@
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/spec.hpp"
+#include "util/streams.hpp"
 
 namespace bsched::api {
-
-namespace {
-
-// Derivation streams of a replication's base seed: the load and the
-// policy draw from disjoint children so they never share an RNG stream.
-constexpr std::uint64_t load_stream = 0;
-constexpr std::uint64_t policy_stream = 1;
-
-}  // namespace
 
 bool stochastic(const scenario& scn) {
   // Must mirror exactly what replicate() below re-seeds: a cell counts
@@ -79,7 +71,7 @@ scenario replicate_impl(const sweep& sw, std::size_t cell,
       load_base = rng::derive(sw.seed, group, replication);
     }
     random_load_spec reseeded = *r;
-    reseeded.seed = rng::derive(load_base, load_stream, r->seed);
+    reseeded.seed = rng::derive(load_base, streams::load, r->seed);
     out.load = load_spec{reseeded};
   }
 
@@ -92,7 +84,7 @@ scenario replicate_impl(const sweep& sw, std::size_t cell,
     if (s.name == "random") {
       const std::uint64_t declared = s.get_u64("seed", 0);
       s.params["seed"] =
-          std::to_string(rng::derive(base, policy_stream, declared));
+          std::to_string(rng::derive(base, streams::policy, declared));
       out.policy = s.str();
     }
   } catch (const error&) {

@@ -216,8 +216,9 @@ class summarize final : public result_sink {
 /// The scenario run_sweep actually evaluates for (cell, replication).
 /// With sw.reseed, a fresh base seed rng::derive(sw.seed, cell,
 /// replication) re-seeds the cell's stochastic parts — the random load
-/// spec gets rng::derive(base, 0, declared seed) and a "random:..."
-/// policy gets rng::derive(base, 1, declared seed), so the two never
+/// spec gets rng::derive(base, streams::load, declared seed) and a
+/// "random:..." policy gets rng::derive(base, streams::policy, declared
+/// seed) (stream ids in util/streams.hpp), so the two never
 /// share a stream and cells with intentionally different declared seeds
 /// stay distinct. With sw.pair_by_load the load stream derives from
 /// load_group(sw, cell) instead of the cell index. Deterministic cells

@@ -4,7 +4,10 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <string_view>
+#include <utility>
+#include <variant>
 #include <vector>
 
 #include "util/error.hpp"
@@ -24,7 +27,9 @@ void encode_digest(const char* tag, const tdigest& d, std::ostream& out) {
 }
 
 /// Tokenized decoder state: reads line by line, splits on spaces, and
-/// reports errors with the 1-based line number.
+/// reports errors with the 1-based line number and the section being
+/// decoded (set via section()), so a truncated or garbled payload names
+/// exactly where decoding stopped.
 class reader {
  public:
   explicit reader(std::istream& in) : in_(in) {}
@@ -37,9 +42,18 @@ class reader {
     return true;
   }
 
+  /// Names the section subsequent errors report ("shard header",
+  /// "cell 3", ...).
+  void section(std::string name) { section_ = std::move(name); }
+
   [[noreturn]] void fail(const std::string& why) const {
     std::string msg = "dist::codec: line ";
     msg += std::to_string(line_no_);
+    if (!section_.empty()) {
+      msg += " (";
+      msg += section_;
+      msg += ')';
+    }
     msg += ": ";
     msg += why;
     throw error(msg);
@@ -120,6 +134,7 @@ class reader {
   std::istream& in_;
   std::string line_;
   std::size_t line_no_ = 0;
+  std::string section_;
 };
 
 tdigest decode_digest(reader& r) {
@@ -192,12 +207,14 @@ shard_aggregate decode(std::istream& in) {
   }
 
   shard_aggregate agg;
+  r.section("shard header");
   r.expect_line("shard");
   agg.shard_index = r.value_size("index");
   agg.shard_count = r.value_size("count");
   agg.first_item = r.value_size("first");
   agg.last_item = r.value_size("last");
 
+  r.section("sweep header");
   r.expect_line("sweep");
   agg.grid_cells = r.value_size("cells");
   agg.replications = r.value_size("replications");
@@ -205,6 +222,7 @@ shard_aggregate decode(std::istream& in) {
   agg.reseed = r.value_size("reseed") != 0;
   agg.pair_by_load = r.value_size("pair_by_load") != 0;
 
+  r.section("stats");
   r.expect_line("stats");
   agg.stats.runs = r.value_size("runs");
   agg.stats.evaluated = r.value_size("evaluated");
@@ -213,11 +231,14 @@ shard_aggregate decode(std::istream& in) {
 
   agg.cells.reserve(agg.grid_cells);
   while (true) {
+    r.section("cell list");
     if (!r.next_line()) r.fail("unexpected end of stream (wanted cell/end)");
     if (r.tag() == "end") break;
     if (r.tag() != "cell") {
-      r.fail("expected 'cell' or 'end' record, got '" + r.line() + "'");
+      r.fail("expected 'cell' or 'end' record, got '" + r.line() +
+             "' (a duplicated or out-of-place section?)");
     }
+    r.section("cell " + std::to_string(agg.cells.size()));
     cell_record c;
     c.cell = r.value_size("index");
     if (c.cell != agg.cells.size()) {
@@ -252,6 +273,197 @@ shard_aggregate decode(std::istream& in) {
            std::to_string(agg.cells.size()));
   }
   return agg;
+}
+
+namespace {
+
+void encode_epochs(const char* tag, const std::vector<load::epoch>& es,
+                   std::ostream& out) {
+  out << tag << " epochs=" << es.size();
+  for (const load::epoch& e : es) {
+    out << ' ' << shortest_double(e.duration_min) << ':'
+        << shortest_double(e.current_a);
+  }
+  out << '\n';
+}
+
+std::vector<load::epoch> decode_epochs(reader& r) {
+  const std::size_t count = r.value_size("epochs");
+  std::vector<load::epoch> es;
+  es.reserve(count);
+  for (const std::string_view f : r.fields()) {
+    if (f.find('=') != std::string_view::npos) continue;  // key=value fields
+    const std::size_t colon = f.find(':');
+    if (colon == std::string_view::npos) {
+      r.fail("malformed epoch '" + std::string{f} +
+             "' (want duration:current)");
+    }
+    load::epoch e;
+    e.duration_min =
+        parse_double(f.substr(0, colon), "dist::codec: epoch duration");
+    e.current_a =
+        parse_double(f.substr(colon + 1), "dist::codec: epoch current");
+    es.push_back(e);
+  }
+  if (es.size() != count) {
+    r.fail("epoch count mismatch: header says " + std::to_string(count) +
+           ", line carries " + std::to_string(es.size()));
+  }
+  return es;
+}
+
+}  // namespace
+
+void encode_sweep(const api::sweep& sw, std::ostream& out) {
+  out << "bsched-sweep v" << codec_version << '\n';
+  out << "sweep cells=" << sw.cells.size()
+      << " replications=" << sw.replications << " seed=" << sw.seed
+      << " reseed=" << (sw.reseed ? 1 : 0)
+      << " pair_by_load=" << (sw.pair_by_load ? 1 : 0) << '\n';
+  for (std::size_t i = 0; i < sw.cells.size(); ++i) {
+    const api::scenario& scn = sw.cells[i];
+    out << "cell index=" << i << " batteries=" << scn.batteries.size()
+        << " model=" << api::name(scn.model) << '\n';
+    out << "label=" << scn.label << '\n';
+    for (const kibam::battery_parameters& b : scn.batteries) {
+      out << "battery capacity=" << shortest_double(b.capacity_amin)
+          << " c=" << shortest_double(b.c)
+          << " k_prime=" << shortest_double(b.k_prime) << '\n';
+    }
+    // Paper/random loads serialize as their describe() round-trip form;
+    // explicit traces (which describe() cannot round-trip) carry their
+    // epochs verbatim behind the reserved "trace" marker.
+    if (const auto* t = std::get_if<load::trace>(&scn.load.source())) {
+      out << "load=trace\n";
+      encode_epochs("prefix", t->prefix(), out);
+      encode_epochs("cycle", t->cycle(), out);
+    } else {
+      out << "load=" << scn.load.describe() << '\n';
+    }
+    out << "policy=" << scn.policy << '\n';
+    out << "steps time_step=" << shortest_double(scn.steps.time_step_min)
+        << " charge_unit=" << shortest_double(scn.steps.charge_unit_amin)
+        << '\n';
+    out << "sim horizon=" << shortest_double(scn.sim.horizon_min)
+        << " record_trace=" << (scn.sim.record_trace ? 1 : 0)
+        << " sample=" << shortest_double(scn.sim.sample_min) << '\n';
+  }
+  out << "end\n";
+  require(out.good(), "dist::codec: stream write failed");
+}
+
+api::sweep decode_sweep(std::istream& in) {
+  reader r{in};
+  r.section("sweep definition");
+  if (!r.next_line()) r.fail("empty stream (wanted the magic line)");
+  const std::string magic = "bsched-sweep v" + std::to_string(codec_version);
+  if (r.line() != magic) {
+    r.fail("bad magic '" + r.line() + "' (this reader speaks '" + magic +
+           "')");
+  }
+
+  api::sweep sw;
+  r.expect_line("sweep");
+  const std::size_t cell_count = r.value_size("cells");
+  sw.replications = r.value_size("replications");
+  sw.seed = r.value_u64("seed");
+  sw.reseed = r.value_size("reseed") != 0;
+  sw.pair_by_load = r.value_size("pair_by_load") != 0;
+
+  sw.cells.reserve(cell_count);
+  while (true) {
+    r.section("cell list");
+    if (!r.next_line()) r.fail("unexpected end of stream (wanted cell/end)");
+    if (r.tag() == "end") break;
+    if (r.tag() != "cell") {
+      r.fail("expected 'cell' or 'end' record, got '" + r.line() +
+             "' (a duplicated or out-of-place section?)");
+    }
+    r.section("cell " + std::to_string(sw.cells.size()));
+    if (r.value_size("index") != sw.cells.size()) {
+      r.fail("cell records out of order: expected index " +
+             std::to_string(sw.cells.size()));
+    }
+    const std::size_t batteries = r.value_size("batteries");
+    const std::string model{r.value("model")};
+
+    api::scenario scn;
+    if (model == api::name(api::fidelity::discrete)) {
+      scn.model = api::fidelity::discrete;
+    } else if (model == api::name(api::fidelity::continuous)) {
+      scn.model = api::fidelity::continuous;
+    } else {
+      r.fail("unknown fidelity '" + model + "'");
+    }
+    if (!r.next_line()) r.fail("unexpected end of stream (wanted label)");
+    scn.label = r.text_record("label");
+    scn.batteries.reserve(batteries);
+    for (std::size_t b = 0; b < batteries; ++b) {
+      r.expect_line("battery");
+      kibam::battery_parameters p{};
+      p.capacity_amin = r.value_double("capacity");
+      p.c = r.value_double("c");
+      p.k_prime = r.value_double("k_prime");
+      scn.batteries.push_back(p);
+    }
+    if (!r.next_line()) r.fail("unexpected end of stream (wanted load)");
+    const std::string load_text = r.text_record("load");
+    if (load_text == "trace") {
+      r.expect_line("prefix");
+      std::vector<load::epoch> prefix = decode_epochs(r);
+      r.expect_line("cycle");
+      std::vector<load::epoch> cycle = decode_epochs(r);
+      try {
+        scn.load = load::trace{std::move(prefix), std::move(cycle)};
+      } catch (const error& e) {
+        r.fail(e.what());
+      }
+    } else {
+      try {
+        scn.load = api::load_spec::parse(load_text);
+      } catch (const error& e) {
+        r.fail(e.what());
+      }
+    }
+    if (!r.next_line()) r.fail("unexpected end of stream (wanted policy)");
+    scn.policy = r.text_record("policy");
+    r.expect_line("steps");
+    scn.steps.time_step_min = r.value_double("time_step");
+    scn.steps.charge_unit_amin = r.value_double("charge_unit");
+    r.expect_line("sim");
+    scn.sim.horizon_min = r.value_double("horizon");
+    scn.sim.record_trace = r.value_size("record_trace") != 0;
+    scn.sim.sample_min = r.value_double("sample");
+    sw.cells.push_back(std::move(scn));
+  }
+  if (sw.cells.size() != cell_count) {
+    r.fail("cell count mismatch: sweep header says " +
+           std::to_string(cell_count) + ", stream carries " +
+           std::to_string(sw.cells.size()));
+  }
+  return sw;
+}
+
+std::string encode_sweep_str(const api::sweep& sw) {
+  std::ostringstream out;
+  encode_sweep(sw, out);
+  return std::move(out).str();
+}
+
+api::sweep decode_sweep_str(const std::string& text) {
+  std::istringstream in{text};
+  return decode_sweep(in);
+}
+
+std::string encode_str(const shard_aggregate& agg) {
+  std::ostringstream out;
+  encode(agg, out);
+  return std::move(out).str();
+}
+
+shard_aggregate decode_str(const std::string& text) {
+  std::istringstream in{text};
+  return decode(in);
 }
 
 void write_file(const shard_aggregate& agg, const std::string& path) {

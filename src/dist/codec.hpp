@@ -25,8 +25,19 @@
 //
 // Stability note: v1 is append-only — readers reject a different version
 // line rather than guessing, and any future field additions bump the
-// version. Decoding is strict: wrong magic, truncation, unknown record
-// tags or malformed numbers throw bsched::error naming the line.
+// version. Decoding is strict: wrong magic, truncation, a duplicated or
+// out-of-place section, unknown record tags and malformed numbers all
+// throw bsched::error naming the 1-based line number and the section
+// being decoded — there is no silent partial decode.
+//
+// A second section, "bsched-sweep v1", serializes a full api::sweep
+// *definition* (the grid itself, not results): per cell the battery
+// parameters, the load (its describe() round-trip form for paper/random
+// loads, explicit epochs for raw traces), the policy spec, fidelity,
+// discretization steps and sim options, plus the sweep's replications /
+// base seed / flags. decode_sweep(encode_sweep(sw)) == sw, which is what
+// lets the sweep service (src/svc) ship the whole campaign to workers
+// that have no grid definition compiled in.
 #pragma once
 
 #include <cstddef>
@@ -37,7 +48,8 @@
 
 namespace bsched::dist {
 
-/// Current wire-format version (the N of "bsched-shard vN").
+/// Current wire-format version (the N of "bsched-shard vN" and
+/// "bsched-sweep vN"; the two sections version together).
 inline constexpr std::size_t codec_version = 1;
 
 /// Writes `agg` to `out` in the v1 line format.
@@ -51,5 +63,21 @@ void encode(const shard_aggregate& agg, std::ostream& out);
 /// when the file cannot be opened.
 void write_file(const shard_aggregate& agg, const std::string& path);
 [[nodiscard]] shard_aggregate read_file(const std::string& path);
+
+/// Writes the full sweep *definition* to `out` ("bsched-sweep v1"):
+/// cells with banks/loads/policies/steps/sim options, replications, base
+/// seed and flags. Round-trips bit-exactly through decode_sweep.
+void encode_sweep(const api::sweep& sw, std::ostream& out);
+
+/// Parses a sweep definition back; strict inverse of encode_sweep.
+/// Throws bsched::error (line + section named) on malformed input.
+[[nodiscard]] api::sweep decode_sweep(std::istream& in);
+
+/// String convenience wrappers — the forms the sweep service puts on the
+/// wire (net/message.hpp bodies).
+[[nodiscard]] std::string encode_sweep_str(const api::sweep& sw);
+[[nodiscard]] api::sweep decode_sweep_str(const std::string& text);
+[[nodiscard]] std::string encode_str(const shard_aggregate& agg);
+[[nodiscard]] shard_aggregate decode_str(const std::string& text);
 
 }  // namespace bsched::dist

@@ -87,63 +87,109 @@ shard_aggregate run_shard(const api::engine& engine, const shard& sh,
   return out;
 }
 
+namespace {
+
+/// Shape/descriptor agreement between parts of one sweep — the merge
+/// precondition shared by every fold path.
+void check_same_shape(const shard_aggregate& ref, const shard_aggregate& p) {
+  require(p.grid_cells == ref.grid_cells &&
+              p.replications == ref.replications && p.seed == ref.seed &&
+              p.reseed == ref.reseed && p.pair_by_load == ref.pair_by_load &&
+              p.shard_count == ref.shard_count,
+          "merge_shards: part [" + std::to_string(p.first_item) + ", " +
+              std::to_string(p.last_item) +
+              ") disagrees on the sweep shape");
+  require(p.cells.size() == ref.cells.size(),
+          "merge_shards: part [" + std::to_string(p.first_item) + ", " +
+              std::to_string(p.last_item) +
+              ") carries a different cell count");
+  for (std::size_t i = 0; i < ref.cells.size(); ++i) {
+    require(p.cells[i].label == ref.cells[i].label &&
+                p.cells[i].load == ref.cells[i].load &&
+                p.cells[i].policy == ref.cells[i].policy &&
+                p.cells[i].fidelity == ref.cells[i].fidelity,
+            "merge_shards: cell " + std::to_string(i) +
+                " descriptors disagree between parts");
+  }
+}
+
+}  // namespace
+
+void stream_merger::add(shard_aggregate part) {
+  require(part.first_item <= part.last_item,
+          "merge_shards: malformed part range [" +
+              std::to_string(part.first_item) + ", " +
+              std::to_string(part.last_item) + ")");
+  if (seeded_ || !pending_.empty()) {
+    check_same_shape(seeded_ ? merged_ : pending_.front(), part);
+  }
+  require(part.first_item >= next_,
+          "merge_shards: overlapping shard ranges at item " +
+              std::to_string(part.first_item));
+  // Keep pending_ sorted by (first, last): an empty [X, X) folds before
+  // the non-empty [X, Y) it abuts, exactly as a one-shot sorted merge.
+  const auto pos = std::upper_bound(
+      pending_.begin(), pending_.end(), part,
+      [](const shard_aggregate& a, const shard_aggregate& b) {
+        return a.first_item != b.first_item ? a.first_item < b.first_item
+                                            : a.last_item < b.last_item;
+      });
+  pending_.insert(pos, std::move(part));
+  fold_ready();
+}
+
+void stream_merger::fold_ready() {
+  while (!pending_.empty()) {
+    shard_aggregate& head = pending_.front();
+    require(head.first_item >= next_,
+            "merge_shards: overlapping shard ranges at item " +
+                std::to_string(head.first_item));
+    if (head.first_item != next_) break;  // stream gap (so far)
+    if (!seeded_) {
+      merged_ = std::move(head);
+      seeded_ = true;
+    } else {
+      for (std::size_t i = 0; i < merged_.cells.size(); ++i) {
+        merged_.cells[i].agg.merge(head.cells[i].agg);
+      }
+      merged_.last_item = head.last_item;
+      merged_.stats.runs += head.stats.runs;
+      merged_.stats.evaluated += head.stats.evaluated;
+      merged_.stats.cache_hits += head.stats.cache_hits;
+      merged_.stats.failures += head.stats.failures;
+    }
+    next_ = merged_.last_item;
+    pending_.erase(pending_.begin());
+  }
+}
+
+std::size_t stream_merger::buffered() const noexcept {
+  return pending_.size();
+}
+
+bool stream_merger::complete(std::size_t last) const noexcept {
+  return seeded_ && pending_.empty() && next_ == last;
+}
+
+shard_aggregate stream_merger::take(std::size_t last) {
+  require(seeded_, "merge_shards: need at least one shard aggregate");
+  require(pending_.empty() && next_ == last,
+          "merge_shards: gap in shard coverage at item " +
+              std::to_string(next_));
+  // The merged aggregate speaks for the whole assembled range.
+  merged_.shard_index = 0;
+  merged_.shard_count = 1;
+  seeded_ = false;
+  return std::move(merged_);
+}
+
 shard_aggregate merge_shards(std::vector<shard_aggregate> parts) {
   require(!parts.empty(), "merge_shards: need at least one shard aggregate");
-  // Stream order: merging left to right keeps the Chan combine's
-  // rounding independent of the order the files were passed in.
-  std::sort(parts.begin(), parts.end(),
-            [](const shard_aggregate& a, const shard_aggregate& b) {
-              // last_item tie-break orders an empty shard [X, X) before
-              // the non-empty [X, Y) it abuts.
-              return a.first_item != b.first_item
-                         ? a.first_item < b.first_item
-                         : a.last_item < b.last_item;
-            });
-
-  shard_aggregate out = std::move(parts.front());
-  const std::size_t total = out.grid_cells * out.replications;
-  for (std::size_t p = 1; p < parts.size(); ++p) {
-    shard_aggregate& part = parts[p];
-    require(part.grid_cells == out.grid_cells &&
-                part.replications == out.replications &&
-                part.seed == out.seed && part.reseed == out.reseed &&
-                part.pair_by_load == out.pair_by_load &&
-                part.shard_count == out.shard_count,
-            "merge_shards: shard " + std::to_string(p) +
-                " disagrees on the sweep shape");
-    require(part.cells.size() == out.cells.size(),
-            "merge_shards: shard " + std::to_string(p) +
-                " carries a different cell count");
-    require(part.first_item == out.last_item,
-            part.first_item < out.last_item
-                ? "merge_shards: overlapping shard ranges at item " +
-                      std::to_string(part.first_item)
-                : "merge_shards: gap in shard coverage at item " +
-                      std::to_string(out.last_item));
-    for (std::size_t i = 0; i < out.cells.size(); ++i) {
-      const cell_record& theirs = part.cells[i];
-      cell_record& ours = out.cells[i];
-      require(theirs.label == ours.label && theirs.load == ours.load &&
-                  theirs.policy == ours.policy &&
-                  theirs.fidelity == ours.fidelity,
-              "merge_shards: cell " + std::to_string(i) +
-                  " descriptors disagree between shards");
-      ours.agg.merge(theirs.agg);
-    }
-    out.last_item = part.last_item;
-    out.stats.runs += part.stats.runs;
-    out.stats.evaluated += part.stats.evaluated;
-    out.stats.cache_hits += part.stats.cache_hits;
-    out.stats.failures += part.stats.failures;
-  }
-  require(out.first_item == 0 && out.last_item == total,
-          "merge_shards: shards cover [" + std::to_string(out.first_item) +
-              ", " + std::to_string(out.last_item) + ") of [0, " +
-              std::to_string(total) + ")");
-  // The merged aggregate speaks for the whole stream.
-  out.shard_index = 0;
-  out.shard_count = 1;
-  return out;
+  const std::size_t total =
+      parts.front().grid_cells * parts.front().replications;
+  stream_merger merger;
+  for (shard_aggregate& part : parts) merger.add(std::move(part));
+  return merger.take(total);
 }
 
 std::vector<api::cell_summary> summaries(const shard_aggregate& agg) {

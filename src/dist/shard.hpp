@@ -105,13 +105,56 @@ struct shard_aggregate {
                                         const shard& sh,
                                         std::size_t n_threads = 0);
 
+/// Incrementally folds shard aggregates of one sweep in stream order.
+/// Parts may arrive in any order (the sweep service's leases complete
+/// out of order); each is validated against the already-seen sweep shape
+/// and cell descriptors on add(), overlaps and duplicates are rejected
+/// immediately, and the contiguous prefix from `first` folds eagerly —
+/// so progress is observable while rounding stays exactly that of a
+/// stream-order fold. `take(last)` requires the folded prefix to cover
+/// [first, last) with nothing buffered (i.e. no gaps) and returns the
+/// merged aggregate. merge_shards below is one-shot sugar over this.
+class stream_merger {
+ public:
+  /// `first` is the first item of the range being assembled (0 for a
+  /// whole sweep; a lease's first item when a worker folds its chunks).
+  explicit stream_merger(std::size_t first = 0) : next_(first) {}
+
+  /// Buffers or folds one part. Throws bsched::error on shape/descriptor
+  /// mismatch with earlier parts, on overlap with the folded prefix or a
+  /// buffered part, and on parts starting before `first`.
+  void add(shard_aggregate part);
+
+  /// One past the last item folded into the contiguous prefix.
+  [[nodiscard]] std::size_t next() const noexcept { return next_; }
+  /// Parts waiting for the prefix to reach them (out-of-order arrivals).
+  [[nodiscard]] std::size_t buffered() const noexcept;
+  /// True when the folded prefix reaches `last` with nothing buffered.
+  [[nodiscard]] bool complete(std::size_t last) const noexcept;
+
+  /// The merged aggregate covering [first, last). Throws bsched::error
+  /// naming the first gap when coverage is incomplete, or when no part
+  /// was ever added.
+  [[nodiscard]] shard_aggregate take(std::size_t last);
+
+ private:
+  void fold_ready();
+
+  std::size_t next_;
+  bool seeded_ = false;        ///< merged_ holds at least one part.
+  shard_aggregate merged_;
+  /// Out-of-order parts keyed by first item; empty ranges sort before a
+  /// non-empty range starting at the same item, mirroring merge order.
+  std::vector<shard_aggregate> pending_;
+};
+
 /// Folds shard aggregates of one sweep into a single aggregate covering
 /// the whole stream. Validates that every part agrees on the sweep shape
 /// (cells/replications/seed/flags/shard count) and cell descriptors, and
 /// that the item ranges tile [0, cells x replications) exactly once;
 /// merging happens in stream order, so the result is independent of the
 /// order the parts are passed in. Throws bsched::error on overlap, gaps
-/// or shape mismatch.
+/// or shape mismatch. (One-shot form of stream_merger.)
 [[nodiscard]] shard_aggregate merge_shards(std::vector<shard_aggregate> parts);
 
 /// The cell_summary rows of an aggregate — what api::summarize would

@@ -16,6 +16,8 @@ namespace bsched::load {
 struct step_sizes {
   double time_step_min = 0.01;     ///< T, minutes per step.
   double charge_unit_amin = 0.01;  ///< Gamma, ampere-minutes per unit.
+
+  friend bool operator==(const step_sizes&, const step_sizes&) = default;
 };
 
 /// The arrays of Table 1, for a finite horizon of epochs.

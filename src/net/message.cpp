@@ -1,0 +1,93 @@
+#include "net/message.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/text.hpp"
+
+namespace bsched::net {
+
+std::uint64_t message::u64(const std::string& key) const {
+  return parse_u64(str(key), "net: message '" + type + "' field " + key);
+}
+
+const std::string& message::str(const std::string& key) const {
+  const auto it = fields.find(key);
+  require(it != fields.end(),
+          "net: message '" + type + "' is missing field '" + key + "'");
+  return it->second;
+}
+
+message make(std::string type) {
+  message m;
+  m.type = std::move(type);
+  return m;
+}
+
+namespace {
+
+bool is_token(std::string_view s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (c == ' ' || c == '\n' || c == '\r' || c == '=') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string encode(const message& m) {
+  require(is_token(m.type), "net: message type must be a non-empty token");
+  std::string out = "bsched-msg v" + std::to_string(protocol_version) + " ";
+  out += m.type;
+  for (const auto& [key, value] : m.fields) {
+    require(is_token(key),
+            "net: field name '" + key + "' is not a header token");
+    require(value.find_first_of(" \n\r") == std::string::npos,
+            "net: field '" + key + "' value contains whitespace — bulky "
+            "payloads belong in the body");
+    out += ' ';
+    out += key;
+    out += '=';
+    out += value;
+  }
+  out += '\n';
+  out += m.body;
+  return out;
+}
+
+message decode(std::string_view frame) {
+  const std::size_t eol = frame.find('\n');
+  require(eol != std::string_view::npos,
+          "net: frame has no header line terminator");
+  std::string_view header = frame.substr(0, eol);
+
+  const std::string magic =
+      "bsched-msg v" + std::to_string(protocol_version);
+  require(header.substr(0, magic.size()) == magic &&
+              header.size() > magic.size() && header[magic.size()] == ' ',
+          "net: bad message magic '" + std::string{header} +
+              "' (this peer speaks '" + magic + "')");
+  header.remove_prefix(magic.size() + 1);
+
+  message m;
+  std::size_t end = std::min(header.find(' '), header.size());
+  m.type = std::string{header.substr(0, end)};
+  require(!m.type.empty(), "net: message has an empty type");
+  while (end < header.size()) {
+    header.remove_prefix(end + 1);
+    end = std::min(header.find(' '), header.size());
+    const std::string_view field = header.substr(0, end);
+    if (field.empty()) continue;
+    const std::size_t eq = field.find('=');
+    require(eq != std::string_view::npos && eq > 0,
+            "net: malformed header field '" + std::string{field} +
+                "' in message '" + m.type + "'");
+    m.fields.emplace(std::string{field.substr(0, eq)},
+                     std::string{field.substr(eq + 1)});
+  }
+  m.body = std::string{frame.substr(eol + 1)};
+  return m;
+}
+
+}  // namespace bsched::net

@@ -54,6 +54,8 @@ struct sim_options {
   double horizon_min = 1e6;      ///< Fail if the system outlives this.
   bool record_trace = false;     ///< Collect `trace_point`s.
   double sample_min = 0.05;      ///< Trace sampling interval.
+
+  friend bool operator==(const sim_options&, const sim_options&) = default;
 };
 
 struct sim_result {

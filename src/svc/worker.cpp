@@ -1,0 +1,198 @@
+#include "svc/worker.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "dist/codec.hpp"
+#include "dist/shard.hpp"
+#include "net/message.hpp"
+#include "net/socket.hpp"
+#include "util/error.hpp"
+
+namespace bsched::svc {
+
+namespace {
+
+struct session_ctx {
+  net::connection conn;
+  std::uint64_t session = 0;
+  std::size_t chunk = 1;
+  int io_timeout_ms = 0;
+  std::string name;
+  std::ostream* log_stream = nullptr;
+
+  void log(const std::string& line) const {
+    if (log_stream != nullptr) {
+      *log_stream << "worker " << name << ": " << line << '\n';
+    }
+  }
+
+  void send(net::message m) {
+    m.fields["session"] = std::to_string(session);
+    conn.send_frame(net::encode(m), io_timeout_ms);
+  }
+
+  [[nodiscard]] net::message recv(const std::string& waiting_for) {
+    auto frame = conn.recv_frame(io_timeout_ms);
+    require(frame.has_value(), "svc: worker timed out waiting for " +
+                                   waiting_for + " (" +
+                                   std::to_string(io_timeout_ms) + " ms)");
+    return net::decode(*frame);
+  }
+};
+
+/// One lease's execution: chunked run_shard calls folded in stream
+/// order, heartbeats and trim handling between chunks. Returns false
+/// when a mid-lease `shutdown` aborted the lease (nothing was sent).
+bool run_lease(const api::engine& engine, session_ctx& ctx, dist::shard& sh,
+               const net::message& lease, std::size_t n_threads,
+               worker_report& report) {
+  const std::uint64_t id = lease.u64("lease");
+  const std::uint64_t epoch = lease.u64("epoch");
+  const std::size_t first = static_cast<std::size_t>(lease.u64("first"));
+  std::size_t last = static_cast<std::size_t>(lease.u64("last"));
+  require(first < last, "svc: coordinator granted an empty lease [" +
+                            std::to_string(first) + ", " +
+                            std::to_string(last) + ")");
+  ctx.log("lease " + std::to_string(id) + " [" + std::to_string(first) +
+          ", " + std::to_string(last) + ")");
+
+  dist::stream_merger merger(first);
+  std::size_t done = first;
+  while (done < last) {
+    sh.first = done;
+    sh.last = std::min(done + ctx.chunk, last);
+    merger.add(dist::run_shard(engine, sh, n_threads));
+    report.items += sh.last - done;
+    done = sh.last;
+
+    net::message hb = net::make("heartbeat");
+    hb.fields["lease"] = std::to_string(id);
+    hb.fields["epoch"] = std::to_string(epoch);
+    hb.fields["done"] = std::to_string(done);
+    ctx.send(std::move(hb));
+
+    // Drain whatever the coordinator pushed meanwhile — work-steal
+    // proposals, or the end of the campaign.
+    while (auto frame = ctx.conn.recv_frame(0)) {
+      const net::message m = net::decode(*frame);
+      if (m.type == "shutdown") {
+        ctx.log("shutdown mid-lease (" +
+                (m.has("reason") ? m.str("reason") : "no reason") +
+                "); abandoning lease " + std::to_string(id));
+        return false;
+      }
+      if (m.type != "trim" || m.u64("lease") != id ||
+          m.u64("epoch") != epoch) {
+        continue;  // trim for a lease this worker no longer runs
+      }
+      // Honor the proposal, but never cut below the frontier — those
+      // items are already computed and belong to this lease's result.
+      const std::size_t cut = std::clamp(
+          static_cast<std::size_t>(m.u64("last")), done, last);
+      net::message trimmed = net::make("trimmed");
+      trimmed.fields["lease"] = std::to_string(id);
+      trimmed.fields["epoch"] = std::to_string(epoch);
+      trimmed.fields["last"] = std::to_string(cut);
+      ctx.send(std::move(trimmed));
+      if (cut < last) {
+        ctx.log("lease " + std::to_string(id) + " trimmed to [" +
+                std::to_string(first) + ", " + std::to_string(cut) + ")");
+        last = cut;
+        ++report.trims;
+      }
+    }
+  }
+
+  net::message result = net::make("result");
+  result.fields["lease"] = std::to_string(id);
+  result.fields["epoch"] = std::to_string(epoch);
+  result.body = dist::encode_str(merger.take(last));
+  ctx.send(std::move(result));
+
+  // The ack may be preceded by a trim that raced with the result; a
+  // finished lease answers with its end, making the steal empty.
+  while (true) {
+    const net::message m = ctx.recv("result ack");
+    if (m.type == "shutdown") return false;
+    if (m.type == "trim") {
+      if (m.u64("lease") == id && m.u64("epoch") == epoch) {
+        net::message trimmed = net::make("trimmed");
+        trimmed.fields["lease"] = std::to_string(id);
+        trimmed.fields["epoch"] = std::to_string(epoch);
+        trimmed.fields["last"] = std::to_string(last);
+        ctx.send(std::move(trimmed));
+      }
+      continue;
+    }
+    if (m.type == "ack" && m.u64("lease") == id && m.u64("epoch") == epoch) {
+      if (m.u64("ok") == 1) {
+        ++report.leases;
+      } else {
+        ++report.rejected;
+        ctx.log("result for lease " + std::to_string(id) +
+                " rejected (lease expired or reassigned); discarding");
+      }
+      return true;
+    }
+    throw error("svc: worker expected ack for lease " + std::to_string(id) +
+                ", got '" + m.type + "'");
+  }
+}
+
+}  // namespace
+
+worker_report run_worker(const api::engine& engine,
+                         const worker_options& opts) {
+  session_ctx ctx;
+  ctx.conn = net::connection::dial(opts.host, opts.port, opts.dial_timeout_ms);
+  ctx.io_timeout_ms = opts.io_timeout_ms;
+  ctx.name = opts.name;
+  ctx.log_stream = opts.log;
+
+  net::message hello = net::make("hello");
+  hello.fields["proto"] = std::to_string(net::protocol_version);
+  hello.fields["name"] = opts.name;
+  ctx.conn.send_frame(net::encode(hello), opts.io_timeout_ms);
+
+  const net::message sweep_msg = ctx.recv("the sweep definition");
+  if (sweep_msg.type == "shutdown") {
+    throw error("svc: coordinator refused the connection (" +
+                (sweep_msg.has("reason") ? sweep_msg.str("reason")
+                                         : "no reason") +
+                ")");
+  }
+  require(sweep_msg.type == "sweep",
+          "svc: worker expected the sweep definition, got '" +
+              sweep_msg.type + "'");
+  ctx.session = sweep_msg.u64("session");
+  ctx.chunk = std::max<std::size_t>(
+      1, static_cast<std::size_t>(sweep_msg.u64("chunk")));
+
+  // The whole grid arrives over the wire; nothing is compiled in.
+  dist::shard sh;
+  sh.sweep = dist::decode_sweep_str(sweep_msg.body);
+  ctx.log("joined session " + std::to_string(ctx.session) + ": " +
+          std::to_string(sh.sweep.cells.size()) + " cell(s) x " +
+          std::to_string(sh.sweep.replications) + " replication(s)");
+
+  worker_report report;
+  while (true) {
+    ctx.send(net::make("ready"));
+    net::message m = ctx.recv("a lease");
+    if (m.type == "shutdown") {
+      ctx.log("shutdown (" +
+              (m.has("reason") ? m.str("reason") : "no reason") + ")");
+      break;
+    }
+    if (m.type == "trim" || m.type == "ack") continue;  // stale traffic
+    require(m.type == "lease", "svc: worker expected a lease, got '" +
+                                   m.type + "'");
+    if (!run_lease(engine, ctx, sh, m, opts.n_threads, report)) break;
+  }
+  return report;
+}
+
+}  // namespace bsched::svc

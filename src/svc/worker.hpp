@@ -1,0 +1,52 @@
+// The sweep-service worker: connects to a coordinator (svc/coordinator.hpp),
+// receives the full sweep definition over the wire (no compiled-in grid),
+// and runs leases until told to shut down.
+//
+// A lease's item range is executed in chunks of the coordinator-announced
+// size through dist::run_shard; chunk aggregates fold locally in stream
+// order (dist::stream_merger), so the lease result has exactly the
+// rounding a single contiguous run would. Between chunks the worker
+// heartbeats its global item frontier and answers work-steal `trim`
+// proposals with the actual cut — never below what it has already
+// computed — then ships the finished lease as one `result` frame and
+// waits for the ack. A rejected ack (stale epoch after an expiry) just
+// discards the work and asks for the next lease.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "api/engine.hpp"
+
+namespace bsched::svc {
+
+struct worker_options {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string name = "worker";  ///< Reported in the hello (logs only).
+  std::size_t n_threads = 0;    ///< dist::run_shard pool; 0 = hardware.
+  int dial_timeout_ms = 5000;
+  /// Max quiet period on the control socket (waiting for a lease, the
+  /// sweep, or an ack) before the worker gives up on the coordinator.
+  int io_timeout_ms = 120000;
+  std::ostream* log = nullptr;
+};
+
+/// What one worker session did, for logs and tests.
+struct worker_report {
+  std::size_t leases = 0;    ///< Results accepted by the coordinator.
+  std::size_t rejected = 0;  ///< Results rejected (stale lease epoch).
+  std::size_t items = 0;     ///< Items computed (incl. rejected leases).
+  std::size_t trims = 0;     ///< Work-steal trims honored.
+};
+
+/// Runs the worker loop until the coordinator sends `shutdown` (returns)
+/// or the connection dies / times out (throws bsched::error). `engine`
+/// supplies the policy registry — a worker fleet must register the same
+/// custom policies the sweep references.
+worker_report run_worker(const api::engine& engine,
+                         const worker_options& opts);
+
+}  // namespace bsched::svc

@@ -1,0 +1,33 @@
+// The seed-derivation contract: named rng::derive stream ids.
+//
+// Every stochastic component of a sweep draws from its own child stream
+// of a per-(cell, replication) base seed (api/sweep.hpp `replicate`):
+//
+//   base        = rng::derive(sweep.seed, cell, replication)
+//   load seed   = rng::derive(base, streams::load,   declared load seed)
+//   policy seed = rng::derive(base, streams::policy, declared policy seed)
+//
+// The ids below ARE the wire/reproducibility contract — results recorded
+// with one assignment are not comparable under another — so they live in
+// one header instead of as magic numbers at each derivation site. New
+// stream consumers append new constants; existing values never change.
+#pragma once
+
+#include <cstdint>
+
+namespace bsched::streams {
+
+/// Child stream of a replication's base seed feeding the cell's random
+/// load spec (random:/markov: generators).
+inline constexpr std::uint64_t load = 0;
+
+/// Child stream feeding the cell's "random:..." policy.
+inline constexpr std::uint64_t policy = 1;
+
+/// Child stream of the sweep-service coordinator's session nonce
+/// (svc/coordinator.cpp): leases and results carry a session token
+/// derived here, so messages from a stale or foreign service run are
+/// rejected instead of folded.
+inline constexpr std::uint64_t service = 2;
+
+}  // namespace bsched::streams

@@ -70,8 +70,14 @@ void tdigest::compress() {
     const double q2 = (cum + cur.weight + next.weight) / weight_;
     if (k1_scale(q2, compression) - k1_scale(q0, compression) <= 1.0) {
       // Weighted mean; weights are positive so the denominator is too.
+      // Clamp into [cur.mean, next.mean]: the exact value lies in that
+      // bracket, but rounding can land an ulp outside it, and repeated
+      // merge/compress rounds would then break the sorted-by-mean
+      // invariant the serialized form (from_centroids) enforces.
       const double w = cur.weight + next.weight;
-      cur.mean = (cur.mean * cur.weight + next.mean * next.weight) / w;
+      cur.mean = std::clamp(
+          (cur.mean * cur.weight + next.mean * next.weight) / w, cur.mean,
+          next.mean);
       cur.weight = w;
     } else {
       cum += cur.weight;

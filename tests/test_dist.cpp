@@ -17,6 +17,7 @@
 #include "dist/codec.hpp"
 #include "dist/shard.hpp"
 #include "load/jobs.hpp"
+#include "load/trace.hpp"
 #include "util/error.hpp"
 
 namespace bsched::dist {
@@ -240,6 +241,201 @@ TEST(DistCodec, RejectsGarbageWithLineDiagnostics) {
                         "stats runs=2 evaluated=2 cache_hits=0 failures=0\n"
                         "end\n"),
       error);
+}
+
+/// Splits text into lines (keeping no terminators) so tests can splice
+/// in duplicated or truncated sections.
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::stringstream in{text};
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines,
+                       std::size_t count) {
+  std::string out;
+  for (std::size_t i = 0; i < std::min(count, lines.size()); ++i) {
+    out += lines[i];
+    out += '\n';
+  }
+  return out;
+}
+
+/// Decoding `text` must fail with a diagnostic naming both the 1-based
+/// line number and the section being decoded.
+template <class Decode>
+void expect_names_line_and_section(Decode decode_fn, const std::string& text,
+                                   const std::string& line_no,
+                                   const std::string& section) {
+  try {
+    (void)decode_fn(text);
+    FAIL() << "expected bsched::error for: " << text.substr(0, 80);
+  } catch (const error& e) {
+    const std::string what{e.what()};
+    EXPECT_NE(what.find("line " + line_no), std::string::npos) << what;
+    EXPECT_NE(what.find(section), std::string::npos) << what;
+  }
+}
+
+TEST(DistCodec, ShardDiagnosticsNameLineAndSection) {
+  const api::sweep sw = random_grid(2);
+  const api::engine eng;
+  const shard_aggregate agg = run_shard(eng, plan_shard(sw, 0, 2));
+  const std::vector<std::string> lines = lines_of(encode_str(agg));
+  const auto decode_fn = [](const std::string& text) {
+    return decode_str(text);
+  };
+
+  // A malformed shard header names line 2 and the "shard header" section.
+  expect_names_line_and_section(
+      decode_fn, "bsched-shard v1\nshard index=zero count=1 first=0 last=0\n",
+      "2", "shard header");
+
+  // Truncation inside the first cell's records names that cell.
+  expect_names_line_and_section(decode_fn, join_lines(lines, 6), "6",
+                                "cell 0");
+
+  // A duplicated stats section is caught where a cell/end record was
+  // due, with the out-of-place hint.
+  std::vector<std::string> duplicated = lines;
+  duplicated.insert(duplicated.begin() + 4, lines[3]);  // second "stats"
+  expect_names_line_and_section(decode_fn,
+                                join_lines(duplicated, duplicated.size()),
+                                "5", "cell list");
+  try {
+    (void)decode_str(join_lines(duplicated, duplicated.size()));
+    FAIL() << "expected bsched::error";
+  } catch (const error& e) {
+    EXPECT_NE(std::string{e.what()}.find("duplicated or out-of-place"),
+              std::string::npos);
+  }
+}
+
+TEST(DistCodec, SweepRoundTripsBitExactly) {
+  // The service's wire form of the full sweep definition: cells (bank,
+  // load, policy, fidelity, steps, sim options), replications, seeds and
+  // flags all round-trip exactly — workers need no compiled-in grid.
+  api::sweep sw = random_grid(5);
+  sw.pair_by_load = true;
+  sw.cells[1].label = "a label with spaces and = signs";
+  sw.cells[1].steps.time_step_min = 0.3;
+  sw.cells[2].sim.horizon_min = 12345.678;
+  // An explicit trace load: describe() cannot round-trip it, so the
+  // codec carries its epochs verbatim.
+  sw.cells.push_back(cell(
+      api::load_spec{load::trace{{{1.5, 0.1}, {2.25, 0.0}}, {{10.0, 0.25}}}},
+      "round_robin"));
+
+  const api::sweep back = decode_sweep_str(encode_sweep_str(sw));
+  EXPECT_EQ(back.cells, sw.cells);
+  EXPECT_EQ(back.replications, sw.replications);
+  EXPECT_EQ(back.seed, sw.seed);
+  EXPECT_EQ(back.reseed, sw.reseed);
+  EXPECT_EQ(back.pair_by_load, sw.pair_by_load);
+
+  // Deterministic paper grids round-trip too (test_load describe names).
+  const api::sweep t5 = table5_grid(2);
+  EXPECT_EQ(decode_sweep_str(encode_sweep_str(t5)).cells, t5.cells);
+
+  // run_batch compatibility mode (reseed off) survives the wire.
+  api::sweep verbatim = random_grid(1);
+  verbatim.reseed = false;
+  EXPECT_EQ(decode_sweep_str(encode_sweep_str(verbatim)).reseed, false);
+}
+
+TEST(DistCodec, SweepDecodeRejectsGarbageNamingLineAndSection) {
+  const auto decode_fn = [](const std::string& text) {
+    return decode_sweep_str(text);
+  };
+  EXPECT_THROW((void)decode_sweep_str(""), error);
+  EXPECT_THROW((void)decode_sweep_str("bsched-shard v1\n"), error);
+  EXPECT_THROW((void)decode_sweep_str("bsched-sweep v2\n"), error);
+
+  const std::vector<std::string> lines =
+      lines_of(encode_sweep_str(random_grid(2)));
+
+  // Truncated after the header: the cell list is what went missing.
+  expect_names_line_and_section(decode_fn, join_lines(lines, 2), "2",
+                                "cell list");
+  // Truncated mid-cell: the diagnostic names the cell being decoded.
+  expect_names_line_and_section(decode_fn, join_lines(lines, 4), "4",
+                                "cell 0");
+
+  // A duplicated sweep header where a cell record was due.
+  std::vector<std::string> duplicated = lines;
+  duplicated.insert(duplicated.begin() + 2, lines[1]);
+  expect_names_line_and_section(decode_fn,
+                                join_lines(duplicated, duplicated.size()),
+                                "3", "cell list");
+
+  // Garbage inside a battery record names the cell and the field.
+  std::vector<std::string> garbled = lines;
+  for (std::size_t i = 0; i < garbled.size(); ++i) {
+    if (garbled[i].rfind("battery ", 0) == 0) {
+      garbled[i] = "battery capacity=lots c=0.5 k_prime=0.001";
+      expect_names_line_and_section(decode_fn,
+                                    join_lines(garbled, garbled.size()),
+                                    std::to_string(i + 1), "cell 0");
+      break;
+    }
+  }
+
+  // An unknown fidelity is refused by name.
+  std::vector<std::string> foreign = lines;
+  for (std::string& line : foreign) {
+    const std::size_t at = line.find("model=");
+    if (at != std::string::npos) {
+      line = line.substr(0, at) + "model=quantum";
+      break;
+    }
+  }
+  try {
+    (void)decode_sweep_str(join_lines(foreign, foreign.size()));
+    FAIL() << "expected bsched::error";
+  } catch (const error& e) {
+    EXPECT_NE(std::string{e.what()}.find("quantum"), std::string::npos);
+  }
+}
+
+TEST(DistMerge, StreamMergerFoldsOutOfOrderIncrementally) {
+  // The coordinator's incremental fold: parts arrive out of stream
+  // order, the contiguous prefix advances eagerly, gaps and overlaps are
+  // rejected, and the final take() equals the one-shot merge_shards.
+  const api::sweep sw = random_grid(4);
+  const std::size_t total = sw.cells.size() * sw.replications;
+  const api::engine eng;
+  std::vector<shard_aggregate> parts;
+  for (const shard& sh : plan_shards(sw, 4)) {
+    parts.push_back(run_shard(eng, sh));
+  }
+  const shard_aggregate expected = merge_shards(
+      {parts[0], parts[1], parts[2], parts[3]});
+
+  stream_merger m;
+  EXPECT_EQ(m.next(), 0u);
+  m.add(parts[2]);  // out of order: buffered, prefix unchanged
+  EXPECT_EQ(m.next(), 0u);
+  EXPECT_EQ(m.buffered(), 1u);
+  m.add(parts[0]);  // prefix folds through part 0 only
+  EXPECT_EQ(m.next(), parts[0].last_item);
+  EXPECT_FALSE(m.complete(total));
+  EXPECT_THROW((void)m.take(total), error);  // gap at parts[1]
+  m.add(parts[1]);  // bridges the gap; prefix reaches parts[2] too
+  EXPECT_EQ(m.next(), parts[2].last_item);
+  EXPECT_EQ(m.buffered(), 0u);
+  EXPECT_THROW(m.add(parts[1]), error);  // duplicate overlaps the prefix
+  m.add(parts[3]);
+  EXPECT_TRUE(m.complete(total));
+  EXPECT_EQ(m.take(total), expected);
+
+  // Shape mismatches are rejected on add, even while buffered.
+  stream_merger strict;
+  strict.add(parts[0]);
+  shard_aggregate alien = parts[1];
+  alien.seed ^= 1;
+  EXPECT_THROW(strict.add(std::move(alien)), error);
 }
 
 TEST(DistMerge, RejectsGapsOverlapsAndShapeMismatch) {

@@ -289,6 +289,34 @@ TEST(TDigest, CompressionBoundsCentroidsAndKeepsAccuracy) {
   }
 }
 
+TEST(TDigest, LayeredMergesKeepCentroidsSortedByMean) {
+  // Regression: compress() folds adjacent centroids by weighted mean,
+  // which can round an ulp past the right neighbour. After the layered
+  // folds of the sweep service (worker chunk folds, then coordinator
+  // lease folds) the serialized digest then failed from_centroids'
+  // sorted-by-mean check. Heavy ties at inexactly-representable values
+  // stress exactly that rounding path.
+  rng gen{2009};
+  tdigest total{64};
+  for (std::size_t lease = 0; lease < 8; ++lease) {
+    tdigest folded{64};
+    for (std::size_t chunk = 0; chunk < 16; ++chunk) {
+      tdigest d{64};
+      for (std::size_t i = 0; i < 40; ++i) {
+        d.add(0.1 * static_cast<double>(1 + gen.below(7)));
+      }
+      folded.merge(d);
+    }
+    total.merge(folded);
+  }
+  const std::vector<centroid>& cs = total.centroids();
+  ASSERT_LE(cs.size(), 64u);
+  for (std::size_t i = 1; i < cs.size(); ++i) {
+    ASSERT_LE(cs[i - 1].mean, cs[i].mean) << "i=" << i;
+  }
+  EXPECT_NO_THROW((void)tdigest::from_centroids(total.max_centroids(), cs));
+}
+
 TEST(TDigest, FromCentroidsValidatesAndRoundTrips) {
   tdigest d{16};
   for (const double v : {1.0, 2.0, 2.0, 8.0}) d.add(v);
