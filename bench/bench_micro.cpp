@@ -5,8 +5,11 @@
 
 #include "api/engine.hpp"
 #include "api/scenario.hpp"
+#include "api/sweep.hpp"
+#include "kibam/bank.hpp"
 #include "kibam/discrete.hpp"
 #include "kibam/kibam.hpp"
+#include "kibam/soa.hpp"
 #include "load/jobs.hpp"
 #include "opt/search.hpp"
 #include "pta/dbm.hpp"
@@ -61,6 +64,56 @@ void bm_discrete_lifetime(benchmark::State& state) {
 }
 BENCHMARK(bm_discrete_lifetime);
 
+void bm_bank_step_all(benchmark::State& state) {
+  // Per-tick reference: one full discharge of a mixed two-battery bank
+  // (active battery drawn flat-out, the other recovering) one step at a
+  // time. The baseline the event-horizon kernels are measured against.
+  const kibam::bank bk{{kibam::battery_b1(), kibam::battery_b2()}};
+  const load::draw_rate rate{1, 4};
+  for (auto _ : state) {
+    std::vector<kibam::discrete_state> s = bk.full_states();
+    while (bk.step_all(s, 0, rate) != kibam::step_event::died) {
+    }
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(bm_bank_step_all);
+
+void bm_bank_advance_all(benchmark::State& state) {
+  // The same full discharge through the event-horizon kernel: gaps
+  // between draw/recovery events are jumped in O(1), so the cost scales
+  // with events, not ticks.
+  const kibam::bank bk{{kibam::battery_b1(), kibam::battery_b2()}};
+  const load::draw_rate rate{1, 4};
+  for (auto _ : state) {
+    std::vector<kibam::discrete_state> s = bk.full_states();
+    while (bk.advance_all(s, 0, rate, 1 << 20).event !=
+           kibam::step_event::died) {
+    }
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(bm_bank_advance_all);
+
+void bm_soa_advance_lane(benchmark::State& state) {
+  // The SoA batch kernel: eight independent replication lanes over one
+  // shared bank, each drained to death — the per-lane unit of work of
+  // run_sweep's batched cell evaluation.
+  const kibam::bank bk{{kibam::battery_b1(), kibam::battery_b2()}};
+  kibam::soa_bank soa{bk, 8};
+  const load::draw_rate rate{1, 4};
+  for (auto _ : state) {
+    for (std::size_t lane = 0; lane < soa.lanes(); ++lane) {
+      soa.reset_lane(lane);
+      while (soa.advance_lane(lane, 0, rate, 1 << 20).event !=
+             kibam::step_event::died) {
+      }
+    }
+    benchmark::DoNotOptimize(soa.empty(0, 0));
+  }
+}
+BENCHMARK(bm_soa_advance_lane);
+
 void bm_simulate_best_of_two(benchmark::State& state) {
   const kibam::discretization d{kibam::battery_b1()};
   const load::trace t = load::paper_trace(load::test_load::ils_alt);
@@ -71,6 +124,44 @@ void bm_simulate_best_of_two(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_simulate_best_of_two);
+
+void bm_sweep_cell_reps(benchmark::State& state) {
+  // One stochastic sweep cell (seeded random load) replicated 32 times —
+  // the unit of work a sweep worker evaluates per grid cell. Replications
+  // share the bank, grid and policy and differ only in the derived load
+  // seed, so this is the batched-evaluation hot path of engine::run_sweep.
+  api::sweep sw;
+  sw.cells = {api::scenario{.label = {},
+                            .batteries = api::bank(2, kibam::battery_b1()),
+                            .load = api::random_load_spec{.count = 20,
+                                                          .seed = 1},
+                            .policy = "best_of_n",
+                            .model = api::fidelity::discrete}};
+  sw.replications = 32;
+  const api::engine engine;
+  for (auto _ : state) {
+    api::summarize sink{sw};
+    engine.run_sweep(sw, sink, 1);
+    benchmark::DoNotOptimize(sink.cells());
+  }
+}
+BENCHMARK(bm_sweep_cell_reps);
+
+void bm_simulate_lookahead(benchmark::State& state) {
+  // The online-rollout policy: every job start rolls each candidate
+  // battery forward on a scratch bank copy, the decision-time hot path
+  // of the model-aware policies.
+  const api::scenario scn{.label = {},
+                          .batteries = api::bank(2, kibam::battery_b1()),
+                          .load = load::test_load::ils_alt,
+                          .policy = "lookahead:horizon=2",
+                          .model = api::fidelity::discrete};
+  const api::engine engine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(scn).sim.lifetime_min);
+  }
+}
+BENCHMARK(bm_simulate_lookahead);
 
 void bm_engine_batch(benchmark::State& state) {
   // The scenario front door: a six-cell sweep (two loads x three

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Perf gate: compare a google-benchmark JSON run against a committed baseline.
+
+Usage:
+  bench_gate.py --baseline BENCH_micro.json --current run.json [--tolerance 3.0]
+  bench_gate.py --baseline BENCH_micro.json --current run.json --update
+
+Reads cpu_time per benchmark from both files and fails (exit 1) when any
+benchmark present in the baseline is slower than `tolerance x baseline` in
+the current run. The default tolerance is deliberately loose (3x): CI boxes
+are noisy and share cores, so the gate is meant to catch the step-function
+regressions (an event kernel silently degrading to per-tick stepping, a
+batched path falling back to scalar evaluation) rather than cycle-level
+drift. Tighten it locally when hunting a specific regression.
+
+Benchmarks new in the current run pass with a note (the baseline predates
+them); benchmarks that vanished from the current run fail the gate — a
+deleted benchmark should be deleted from the baseline too, deliberately.
+
+--update rewrites the baseline file from the current run (a trimmed copy:
+name -> cpu_time/time_unit plus the run context), for committing alongside
+the change that shifted the numbers.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    """name -> {cpu_time, time_unit} from a google-benchmark JSON file or a
+    baseline previously written by --update (same shape, trimmed)."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue  # skip aggregate rows (mean/median/stddev)
+        out[b["name"]] = {
+            "cpu_time": float(b["cpu_time"]),
+            "time_unit": b.get("time_unit", "ns"),
+        }
+    return out
+
+
+def fmt_ns(v):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if v >= scale:
+            return f"{v / scale:.2f} {unit}"
+    return f"{v:.0f} ns"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True,
+                    help="committed baseline JSON (see --update)")
+    ap.add_argument("--current", required=True,
+                    help="fresh google-benchmark JSON run to judge")
+    ap.add_argument("--tolerance", type=float, default=3.0,
+                    help="fail when current > tolerance x baseline "
+                         "(default: %(default)s)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from the current run instead "
+                         "of gating")
+    args = ap.parse_args()
+
+    current = load(args.current)
+    if not current:
+        print("bench_gate: current run has no benchmarks", file=sys.stderr)
+        return 1
+
+    if args.update:
+        with open(args.current) as f:
+            doc = json.load(f)
+        trimmed = {
+            "context": doc.get("context", {}),
+            "benchmarks": [
+                {"name": name, "run_type": "iteration", **entry}
+                for name, entry in current.items()
+            ],
+        }
+        with open(args.baseline, "w") as f:
+            json.dump(trimmed, f, indent=2)
+            f.write("\n")
+        print(f"bench_gate: baseline {args.baseline} updated "
+              f"({len(current)} benchmarks)")
+        return 0
+
+    baseline = load(args.baseline)
+    if not baseline:
+        print("bench_gate: baseline has no benchmarks", file=sys.stderr)
+        return 1
+
+    width = max(len(n) for n in set(baseline) | set(current))
+    print(f"{'benchmark':<{width}}  {'baseline':>10}  {'current':>10}  "
+          f"{'ratio':>6}  status")
+    failures = []
+    for name in sorted(set(baseline) | set(current)):
+        base = baseline.get(name)
+        cur = current.get(name)
+        if base is None:
+            print(f"{name:<{width}}  {'—':>10}  "
+                  f"{fmt_ns(cur['cpu_time']):>10}  {'—':>6}  NEW")
+            continue
+        if cur is None:
+            print(f"{name:<{width}}  {fmt_ns(base['cpu_time']):>10}  "
+                  f"{'—':>10}  {'—':>6}  MISSING")
+            failures.append(f"{name}: in baseline but not in current run")
+            continue
+        ratio = cur["cpu_time"] / base["cpu_time"]
+        ok = ratio <= args.tolerance
+        status = "ok" if ok else f"FAIL (> {args.tolerance:g}x)"
+        print(f"{name:<{width}}  {fmt_ns(base['cpu_time']):>10}  "
+              f"{fmt_ns(cur['cpu_time']):>10}  {ratio:>5.2f}x  {status}")
+        if not ok:
+            failures.append(f"{name}: {ratio:.2f}x baseline "
+                            f"(tolerance {args.tolerance:g}x)")
+
+    if failures:
+        print(f"\nbench_gate: {len(failures)} regression(s):",
+              file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print(f"\nbench_gate: OK ({len(current)} benchmarks within "
+          f"{args.tolerance:g}x of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

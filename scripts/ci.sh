@@ -101,8 +101,18 @@ run_release() {
   rm -rf "$svc_dir"
   "$dir/bench_table3" > /dev/null
   "$dir/bench_lookahead" > /dev/null
+  # Perf gate: the microbenchmarks run in JSON mode and are judged
+  # against the committed baseline (BENCH_micro.json). The tolerance is
+  # loose — it exists to catch step-function regressions (an event
+  # kernel degrading to per-tick stepping, batched evaluation falling
+  # back to scalar), not cycle-level noise. After a deliberate perf
+  # change, refresh the baseline with scripts/bench_gate.py --update
+  # and commit it with the change.
   if [ -x "$dir/bench_micro" ]; then
-    "$dir/bench_micro" --benchmark_min_time=0.01
+    "$dir/bench_micro" --benchmark_min_time=0.1 \
+      --benchmark_format=json --benchmark_out="$dir/bench_micro.json"
+    python3 scripts/bench_gate.py --baseline BENCH_micro.json \
+      --current "$dir/bench_micro.json" --tolerance 3.0
   else
     echo "ci: bench_micro not built (google-benchmark missing); skipped"
   fi

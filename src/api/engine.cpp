@@ -4,10 +4,12 @@
 #include <atomic>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 
 #include "kibam/bank.hpp"
+#include "kibam/soa.hpp"
 #include "util/error.hpp"
 
 namespace bsched::api {
@@ -37,6 +39,21 @@ run_result engine::run(const scenario& scn) const {
                                            scn.sim);
       break;
   }
+  out.policy_name = pol->name();
+  out.search = pol->stats();
+  return out;
+}
+
+run_result engine::run_lane(const scenario& scn, const kibam::bank& bank,
+                            kibam::soa_bank& soa, std::size_t lane) const {
+  // The batched twin of run() at discrete fidelity: the bank was built
+  // once from this scenario's (batteries, steps) by the caller, and the
+  // backend resets and steps lane `lane` of the shared state block.
+  const load::trace trace = scn.load.materialize();
+  const std::unique_ptr<sched::policy> pol = resolve_policy(scn);
+  run_result out;
+  out.sim = sched::simulate_discrete_lane(bank, soa, lane, trace, *pol,
+                                          scn.sim);
   out.policy_name = pol->name();
   out.search = pol->stats();
   return out;
@@ -106,6 +123,49 @@ sweep_stats engine::run_sweep(const sweep& sw, result_sink& sink,
   stats.evaluated = jobs.size();
   stats.cache_hits = total - jobs.size();
 
+  if (n_threads == 0) n_threads = std::thread::hardware_concurrency();
+  n_threads = std::clamp<std::size_t>(n_threads, 1, jobs.size());
+
+  // Batch plan: discrete-fidelity jobs that share a bank, grid and
+  // simulator options (replications of one cell, or grid cells varying
+  // only load/policy) evaluate as lanes of one shared kibam::soa_bank —
+  // one discretization build and one contiguous state block per batch.
+  // Batches are capped so a multi-threaded sweep still spreads across
+  // the pool; everything else rides in a singleton batch through run().
+  const std::size_t max_lanes = std::max<std::size_t>(
+      1,
+      std::min<std::size_t>(32, (jobs.size() + n_threads - 1) / n_threads));
+  std::vector<std::vector<std::size_t>> batches;
+  {
+    std::vector<std::size_t> open;  // batchable batches still below the cap
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      const scenario& scn = jobs[j];
+      const bool batchable =
+          scn.model == fidelity::discrete && !scn.batteries.empty();
+      if (!batchable || max_lanes == 1) {
+        batches.push_back({j});
+        continue;
+      }
+      std::size_t slot = open.size();
+      for (std::size_t o = 0; o < open.size(); ++o) {
+        const scenario& lead = jobs[batches[open[o]].front()];
+        if (lead.batteries == scn.batteries && lead.steps == scn.steps &&
+            lead.sim == scn.sim) {
+          slot = o;
+          break;
+        }
+      }
+      if (slot == open.size()) {
+        open.push_back(batches.size());
+        batches.push_back({j});
+        continue;
+      }
+      std::vector<std::size_t>& members = batches[open[slot]];
+      members.push_back(j);
+      if (members.size() >= max_lanes) open.erase(open.begin() + slot);
+    }
+  }
+
   std::vector<run_result> results(jobs.size());
   std::vector<std::atomic<bool>> done(jobs.size());
 
@@ -157,14 +217,50 @@ sweep_stats engine::run_sweep(const sweep& sw, result_sink& sink,
     }
   };
 
-  if (n_threads == 0) n_threads = std::thread::hardware_concurrency();
-  n_threads = std::clamp<std::size_t>(n_threads, 1, jobs.size());
+  // Evaluates a batch: one shared bank + soa_bank, one lane per job.
+  // Construction failures (invalid grids) fall back to the per-job path
+  // so the error lands on every affected job exactly as run() reports it.
+  const auto evaluate_batch = [&](const std::vector<std::size_t>& members)
+      noexcept {
+    if (members.size() == 1) {
+      evaluate(members.front());
+      flush();
+      return;
+    }
+    std::optional<kibam::bank> bank;
+    std::optional<kibam::soa_bank> soa;
+    try {
+      const scenario& lead = jobs[members.front()];
+      bank.emplace(lead.batteries, lead.steps);
+      soa.emplace(*bank, members.size());
+    } catch (...) {
+      for (const std::size_t j : members) {
+        evaluate(j);
+        flush();
+      }
+      return;
+    }
+    for (std::size_t lane = 0; lane < members.size(); ++lane) {
+      const std::size_t j = members[lane];
+      try {
+        results[j] = run_lane(jobs[j], *bank, *soa, lane);
+      } catch (const std::exception& e) {
+        results[j] = run_result{};
+        results[j].error = e.what();
+      } catch (...) {
+        results[j] = run_result{};
+        results[j].error = "unknown error";
+      }
+      done[j].store(true, std::memory_order_release);
+      flush();
+    }
+  };
+
   std::atomic<std::size_t> next{0};
   const auto worker = [&]() noexcept {
-    for (std::size_t j = next.fetch_add(1); j < jobs.size();
-         j = next.fetch_add(1)) {
-      evaluate(j);
-      flush();
+    for (std::size_t b = next.fetch_add(1); b < batches.size();
+         b = next.fetch_add(1)) {
+      evaluate_batch(batches[b]);
     }
   };
 

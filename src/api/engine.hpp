@@ -94,6 +94,13 @@ class engine {
   [[nodiscard]] std::vector<std::string> policy_names() const;
 
  private:
+  /// run(), but with the discrete backend's state in lane `lane` of a
+  /// shared soa_bank — the batched-evaluation path of run_sweep.
+  [[nodiscard]] run_result run_lane(const scenario& scn,
+                                    const kibam::bank& bank,
+                                    kibam::soa_bank& soa,
+                                    std::size_t lane) const;
+
   engine_options opts_;
 };
 

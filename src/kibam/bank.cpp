@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "kibam/advance.hpp"
 #include "util/error.hpp"
 
 namespace bsched::kibam {
@@ -10,10 +11,17 @@ bank::bank(const std::vector<battery_parameters>& batteries,
            const load::step_sizes& steps) {
   require(!batteries.empty(), "bank: need at least one battery");
   type_of_.reserve(batteries.size());
+  // Dedup on the parameter sets directly — comparing raw parameters
+  // avoids both the discretization construction per probe and chasing
+  // discs_[t].params() through a larger object per comparison.
+  std::vector<battery_parameters> seen;
   for (const auto& p : batteries) {
     std::size_t t = 0;
-    while (t < discs_.size() && !(discs_[t].params() == p)) ++t;
-    if (t == discs_.size()) discs_.emplace_back(p, steps);
+    while (t < seen.size() && !(seen[t] == p)) ++t;
+    if (t == seen.size()) {
+      seen.push_back(p);
+      discs_.emplace_back(p, steps);
+    }
     type_of_.push_back(t);
   }
 }
@@ -34,14 +42,33 @@ std::vector<discrete_state> bank::full_states() const {
 step_event bank::step_all(std::vector<discrete_state>& states,
                           std::size_t active,
                           const load::draw_rate& rate) const {
+  static constexpr load::draw_rate k_rest{0, 0};
   step_event ev = step_event::none;
   for (std::size_t b = 0; b < states.size(); ++b) {
     const step_event e_b =
-        step(discs_[type_of_[b]], states[b],
-             b == active ? rate : load::draw_rate{0, 0});
+        step(discs_[type_of_[b]], states[b], b == active ? rate : k_rest);
     if (b == active) ev = e_b;
   }
   return ev;
+}
+
+advance_result bank::advance_all(std::vector<discrete_state>& states,
+                                 std::size_t active,
+                                 const load::draw_rate& rate,
+                                 std::int64_t max_steps) const {
+  BSCHED_ASSERT(states.size() == size());
+  advance_result out{max_steps, step_event::none};
+  if (active < states.size()) {
+    out = advance_until(discs_[type_of_[active]], states[active], rate,
+                        max_steps);
+  }
+  for (std::size_t b = 0; b < states.size(); ++b) {
+    if (b == active) continue;
+    discrete_state& s = states[b];
+    detail::advance_rest(discs_[type_of_[b]], s.m, s.recovery_elapsed,
+                         out.steps);
+  }
+  return out;
 }
 
 std::int64_t bank::total_units() const {

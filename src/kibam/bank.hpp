@@ -77,6 +77,17 @@ class bank {
                       std::size_t active = idle,
                       const load::draw_rate& rate = {0, 0}) const;
 
+  /// Advances every battery by up to `max_steps` time steps in O(events),
+  /// bit-identical to that many step_all calls. Batteries never interact
+  /// within a step, so the active battery is advanced with the full
+  /// event-horizon kernel and every other battery recovers by exactly the
+  /// number of steps it consumed. Stops early only when the active battery
+  /// is observed empty (`died` at its exact step).
+  advance_result advance_all(std::vector<discrete_state>& states,
+                             std::size_t active,
+                             const load::draw_rate& rate,
+                             std::int64_t max_steps) const;
+
   /// Total capacity of the bank in charge units (sum of per-battery N).
   [[nodiscard]] std::int64_t total_units() const;
 

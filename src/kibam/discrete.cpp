@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "kibam/advance.hpp"
 #include "util/error.hpp"
 
 namespace bsched::kibam {
@@ -35,12 +36,6 @@ discretization::discretization(const battery_parameters& params,
     recovery_[m] =
         std::max<std::int64_t>(1, std::llround(minutes / steps_.time_step_min));
   }
-}
-
-std::int64_t discretization::recovery_steps(std::int64_t m) const {
-  require(m >= 2, "recovery_steps: defined for m >= 2 only");
-  BSCHED_ASSERT(static_cast<std::size_t>(m) < recovery_.size());
-  return recovery_[static_cast<std::size_t>(m)];
 }
 
 state discretization::to_continuous(std::int64_t n, std::int64_t m) const {
@@ -85,27 +80,48 @@ step_event step(const discretization& d, discrete_state& s,
   return step_event::none;
 }
 
+advance_result advance_until(const discretization& d, discrete_state& s,
+                             const load::draw_rate& rate,
+                             std::int64_t max_steps) {
+  return detail::advance_state(d, s, rate, max_steps);
+}
+
 double discrete_lifetime(const discretization& d, const load::trace& trace,
                          double horizon_min) {
   discrete_state s = full_discrete(d);
   load::epoch_cursor cursor{trace};
   std::int64_t step_count = 0;
   const double t_step = d.steps().time_step_min;
+  // Per-epoch rates, filled lazily so rate_for is only consulted for
+  // epochs the battery actually reaches (it throws on too-coarse grids).
+  // Distinct epochs are the prefix plus one cycle; later global indices
+  // wrap back into the cycle range.
+  const std::size_t n_prefix = trace.prefix().size();
+  const std::size_t n_cycle = trace.cycle().size();
+  std::vector<load::draw_rate> rates(n_prefix + n_cycle,
+                                     load::draw_rate{0, -1});
+  std::size_t idx = 0;
   while (static_cast<double>(step_count) * t_step < horizon_min) {
     const load::epoch& e = cursor.current();
-    const load::draw_rate rate =
-        e.current_a > 0 ? load::rate_for(e.current_a, d.steps())
-                        : load::draw_rate{0, 0};
+    const std::size_t key =
+        idx < rates.size() ? idx : n_prefix + (idx - n_prefix) % n_cycle;
+    if (rates[key].steps < 0) {
+      rates[key] = e.current_a > 0 ? load::rate_for(e.current_a, d.steps())
+                                   : load::draw_rate{0, 0};
+    }
+    const load::draw_rate& rate = rates[key];
     const auto epoch_steps =
         static_cast<std::int64_t>(std::llround(e.duration_min / t_step));
     s.discharge_elapsed = 0;  // go_on resets c_disch at each epoch start
-    for (std::int64_t i = 0; i < epoch_steps; ++i) {
-      ++step_count;
-      if (step(d, s, rate) == step_event::died) {
+    if (epoch_steps > 0) {
+      const advance_result a = advance_until(d, s, rate, epoch_steps);
+      step_count += a.steps;
+      if (a.event == step_event::died) {
         return static_cast<double>(step_count) * t_step;
       }
     }
     cursor.advance();
+    ++idx;
   }
   throw error("discrete_lifetime: battery survived the analysis horizon");
 }

@@ -25,6 +25,7 @@
 #include "kibam/parameters.hpp"
 #include "load/discretize.hpp"
 #include "load/trace.hpp"
+#include "util/error.hpp"
 
 namespace bsched::kibam {
 
@@ -49,8 +50,14 @@ class discretization {
   [[nodiscard]] std::int64_t c_permille() const noexcept { return c_pm_; }
 
   /// Steps needed to lower the height difference from m to m - 1 (eq. (6)
-  /// divided by T, rounded to nearest). Requires m >= 2.
-  [[nodiscard]] std::int64_t recovery_steps(std::int64_t m) const;
+  /// divided by T, rounded to nearest). Requires m >= 2 (asserted — this
+  /// is the hot-path table lookup of every stepping kernel, so the bounds
+  /// check must not be an exception branch).
+  [[nodiscard]] std::int64_t recovery_steps(std::int64_t m) const noexcept {
+    BSCHED_ASSERT(m >= 2);
+    BSCHED_ASSERT(static_cast<std::size_t>(m) < recovery_.size());
+    return recovery_[static_cast<std::size_t>(m)];
+  }
 
   /// Empty criterion (eq. (8)): (1000 - c) m >= c n.
   [[nodiscard]] bool is_empty(std::int64_t n, std::int64_t m) const noexcept {
@@ -105,6 +112,31 @@ enum class step_event : std::uint8_t {
 /// units per `rate.steps` steps.
 step_event step(const discretization& d, discrete_state& s,
                 const load::draw_rate& rate);
+
+/// Outcome of an event-horizon advance: how many time steps were consumed
+/// and the step event of the *final* step consumed. `died` is reported at
+/// the exact step the battery is observed empty; recovery ticks and
+/// non-fatal draws are handled internally and report `none`.
+struct advance_result {
+  std::int64_t steps;
+  step_event event;
+
+  friend bool operator==(const advance_result&,
+                         const advance_result&) = default;
+};
+
+/// Advances `s` by up to `max_steps` time steps in O(events) instead of
+/// O(steps), bit-identical to calling step() that many times: recovery
+/// ticks are jumped one fire at a time, and the draws between two recovery
+/// fires are applied in closed form (each draw lowers the available charge
+/// by exactly 1000 * units permille, so the death draw and the first
+/// recovery fire are both predictable within the window). Returns early
+/// only when the battery is observed empty — the caller sees every death
+/// at its exact step, and the state at every return point equals the
+/// per-tick state after the same number of steps.
+advance_result advance_until(const discretization& d, discrete_state& s,
+                             const load::draw_rate& rate,
+                             std::int64_t max_steps);
 
 /// Runs a single battery from full against `trace` and returns its lifetime
 /// in minutes (the time of the draw at which it is observed empty).

@@ -1,0 +1,98 @@
+#include "kibam/soa.hpp"
+
+#include "kibam/advance.hpp"
+#include "util/error.hpp"
+
+namespace bsched::kibam {
+
+namespace {
+
+/// discrete_state's five members as references into the parallel arrays —
+/// the `State` shape detail::advance_state steps.
+struct lane_ref {
+  std::int64_t& n;
+  std::int64_t& m;
+  std::int64_t& recovery_elapsed;
+  std::int64_t& discharge_elapsed;
+  std::uint8_t& empty;
+};
+
+}  // namespace
+
+soa_bank::soa_bank(const bank& bk, std::size_t lanes)
+    : bank_(&bk), batteries_(bk.size()), lanes_(lanes) {
+  require(lanes_ >= 1, "soa_bank: need at least one lane");
+  const std::size_t total = lanes_ * batteries_;
+  n_.resize(total);
+  m_.resize(total);
+  rec_.resize(total);
+  dis_.resize(total);
+  empty_.resize(total);
+  for (std::size_t lane = 0; lane < lanes_; ++lane) reset_lane(lane);
+}
+
+void soa_bank::reset_lane(std::size_t lane) {
+  for (std::size_t b = 0; b < batteries_; ++b) {
+    const std::size_t i = at(lane, b);
+    n_[i] = bank_->disc(b).total_units();
+    m_[i] = 0;
+    rec_[i] = 0;
+    dis_[i] = 0;
+    empty_[i] = 0;
+  }
+}
+
+bool soa_bank::lane_all_empty(std::size_t lane) const {
+  for (std::size_t b = 0; b < batteries_; ++b) {
+    if (empty_[at(lane, b)] == 0) return false;
+  }
+  return true;
+}
+
+std::vector<discrete_state> soa_bank::lane_states(std::size_t lane) const {
+  std::vector<discrete_state> out;
+  out.reserve(batteries_);
+  for (std::size_t b = 0; b < batteries_; ++b) {
+    const std::size_t i = at(lane, b);
+    out.push_back({n_[i], m_[i], rec_[i], dis_[i], empty_[i] != 0});
+  }
+  return out;
+}
+
+step_event soa_bank::step_lane(std::size_t lane, std::size_t active,
+                               const load::draw_rate& rate) {
+  static constexpr load::draw_rate k_rest{0, 0};
+  step_event ev = step_event::none;
+  for (std::size_t b = 0; b < batteries_; ++b) {
+    const std::size_t i = at(lane, b);
+    discrete_state s{n_[i], m_[i], rec_[i], dis_[i], empty_[i] != 0};
+    const step_event e_b =
+        step(bank_->disc(b), s, b == active ? rate : k_rest);
+    n_[i] = s.n;
+    m_[i] = s.m;
+    rec_[i] = s.recovery_elapsed;
+    dis_[i] = s.discharge_elapsed;
+    empty_[i] = s.empty ? 1 : 0;
+    if (b == active) ev = e_b;
+  }
+  return ev;
+}
+
+advance_result soa_bank::advance_lane(std::size_t lane, std::size_t active,
+                                      const load::draw_rate& rate,
+                                      std::int64_t max_steps) {
+  advance_result out{max_steps, step_event::none};
+  if (active < batteries_) {
+    const std::size_t i = at(lane, active);
+    lane_ref s{n_[i], m_[i], rec_[i], dis_[i], empty_[i]};
+    out = detail::advance_state(bank_->disc(active), s, rate, max_steps);
+  }
+  for (std::size_t b = 0; b < batteries_; ++b) {
+    if (b == active) continue;
+    const std::size_t i = at(lane, b);
+    detail::advance_rest(bank_->disc(b), m_[i], rec_[i], out.steps);
+  }
+  return out;
+}
+
+}  // namespace bsched::kibam

@@ -120,7 +120,9 @@ class searcher {
     while (load_.at(epoch).current_a <= 0) {
       const std::int64_t steps =
           epoch_steps(load_.at(epoch), bank_.steps());
-      for (std::int64_t i = 0; i < steps; ++i) bank_.step_all(bats);
+      if (steps > 0) {
+        bank_.advance_all(bats, kibam::bank::idle, {0, 0}, steps);
+      }
       consumed += steps;
       ++epoch;
     }
@@ -210,11 +212,14 @@ class searcher {
     bats[active].discharge_elapsed = 0;
 
     std::int64_t local = 0;
-    for (std::int64_t i = offset; i < total; ++i) {
-      ++local;
-      if (bank_.step_all(bats, active, rate) != kibam::step_event::died) {
-        continue;
-      }
+    for (std::int64_t i = offset; i < total;) {
+      // Event-horizon advance: the search only branches at deaths, so
+      // jumping straight to the next death leaves the tree untouched.
+      const kibam::advance_result adv =
+          bank_.advance_all(bats, active, rate, total - i);
+      local += adv.steps;
+      i += adv.steps;
+      if (adv.event != kibam::step_event::died) break;
       const bool all_empty = std::ranges::all_of(
           bats, [](const auto& b) { return b.empty; });
       if (all_empty) return local;
@@ -228,7 +233,7 @@ class searcher {
         tried.push_back(sig);
         auto copy = bats;
         const std::int64_t v =
-            run_from(copy, epoch, i + 1, b,
+            run_from(copy, epoch, i, b,
                      minimize_ ? 0 : std::max(best, prune_below - local));
         best = minimize_ ? std::min(best, v) : std::max(best, v);
       }

@@ -98,17 +98,33 @@ sim_result run_simulation(Model& model, const load::trace& load, policy& pol,
 /// be heterogeneous; batteries of the same type share one discretization
 /// (and its precomputed recovery table) through the kibam::bank — the same
 /// representation the exact search and the rollout scheduler advance.
+///
+/// Per-battery state lives in one lane of a kibam::soa_bank: a standalone
+/// run owns a private one-lane soa_bank, while engine::run_sweep hands
+/// replications of one sweep cell neighbouring lanes of a shared block
+/// (simulate_discrete_lane below). Time advances through the event-horizon
+/// kernel unless a trace is recorded — recording samples every tick, so it
+/// keeps the per-tick reference path; both are bit-identical per step.
 class discrete_model : public model_view {
  public:
   static constexpr const char* kName = "simulate_discrete";
 
   discrete_model(kibam::bank bank, const sim_options& opts)
-      : bank_(std::move(bank)), opts_(opts) {
-    t_step_ = bank_.steps().time_step_min;
-    unit_ = bank_.steps().charge_unit_amin;
-    sample_period_ =
-        std::max<std::int64_t>(1, std::llround(opts_.sample_min / t_step_));
-    bats_ = bank_.full_states();
+      : owned_bank_(std::move(bank)), opts_(opts) {
+    owned_soa_.emplace(*owned_bank_, 1);
+    bank_ = &*owned_bank_;
+    soa_ = &*owned_soa_;
+    lane_ = 0;
+    init();
+  }
+
+  discrete_model(const kibam::bank& bank, kibam::soa_bank& soa,
+                 std::size_t lane, const sim_options& opts)
+      : bank_(&bank), soa_(&soa), lane_(lane), opts_(opts) {
+    BSCHED_ASSERT(&soa.source() == &bank);
+    BSCHED_ASSERT(lane < soa.lanes());
+    soa_->reset_lane(lane_);
+    init();
   }
 
   void attach(sim_result& res, const load::trace& load) {
@@ -116,7 +132,7 @@ class discrete_model : public model_view {
     load_ = &load;
   }
 
-  [[nodiscard]] model_info info() const { return {&bank_, load_}; }
+  [[nodiscard]] model_info info() const { return {bank_, load_}; }
 
   [[nodiscard]] double now() const {
     return static_cast<double>(step_count_) * t_step_;
@@ -124,14 +140,15 @@ class discrete_model : public model_view {
 
   [[nodiscard]] std::vector<battery_view> views() const {
     std::vector<battery_view> out;
-    out.reserve(bats_.size());
-    for (std::size_t i = 0; i < bats_.size(); ++i) {
-      const auto& b = bats_[i];
+    out.reserve(soa_->batteries());
+    for (std::size_t i = 0; i < soa_->batteries(); ++i) {
+      const std::int64_t n = soa_->n(lane_, i);
+      const std::int64_t m = soa_->m(lane_, i);
       out.push_back(
-          {i, static_cast<double>(b.n) * unit_,
-           static_cast<double>(disc_of(i).available_permille(b.n, b.m)) *
-               unit_ / 1000.0,
-           b.empty});
+          {i, static_cast<double>(n) * unit_,
+           static_cast<double>(disc_of(i).available_permille(n, m)) * unit_ /
+               1000.0,
+           soa_->empty(lane_, i)});
     }
     return out;
   }
@@ -140,21 +157,28 @@ class discrete_model : public model_view {
 
   void idle(const load::epoch& e) {
     const auto steps = epoch_steps(e);
+    if (!opts_.record_trace) {
+      if (steps > 0) {
+        soa_->advance_lane(lane_, kibam::bank::idle, {0, 0}, steps);
+        step_count_ += steps;
+      }
+      return;
+    }
     for (std::int64_t i = 0; i < steps; ++i) {
       ++step_count_;
-      bank_.step_all(bats_);
+      soa_->step_lane(lane_, kibam::bank::idle, {0, 0});
       record(-1);
     }
   }
 
   void begin_epoch(const load::epoch& e, std::size_t index) {
-    rate_ = load::rate_for(e.current_a, bank_.steps());
+    rate_ = load::rate_for(e.current_a, bank_->steps());
     remaining_ = epoch_steps(e);
     epoch_index_ = index;
   }
 
   void begin_service(std::size_t active) {
-    bats_[active].discharge_elapsed = 0;  // go_on resets c_disch
+    soa_->reset_discharge(lane_, active);  // go_on resets c_disch
     if (pending_record_) {
       // The sample of the death step, attributed to the hand-over target
       // the policy just picked.
@@ -164,14 +188,25 @@ class discrete_model : public model_view {
   }
 
   serve_event serve(std::size_t active) {
+    if (!opts_.record_trace) {
+      while (remaining_ > 0) {
+        const kibam::advance_result a =
+            soa_->advance_lane(lane_, active, rate_, remaining_);
+        step_count_ += a.steps;
+        remaining_ -= a.steps;
+        if (a.event == kibam::step_event::died) {
+          if (soa_->lane_all_empty(lane_)) return serve_event::system_dead;
+          return serve_event::handover;
+        }
+      }
+      return serve_event::epoch_done;
+    }
     while (remaining_ > 0) {
       --remaining_;
       ++step_count_;
-      const kibam::step_event ev = bank_.step_all(bats_, active, rate_);
+      const kibam::step_event ev = soa_->step_lane(lane_, active, rate_);
       if (ev == kibam::step_event::died) {
-        const bool all = std::ranges::all_of(
-            bats_, [](const auto& b) { return b.empty; });
-        if (all) return serve_event::system_dead;
+        if (soa_->lane_all_empty(lane_)) return serve_event::system_dead;
         pending_record_ = true;
         return serve_event::handover;
       }
@@ -183,7 +218,9 @@ class discrete_model : public model_view {
   void finish(std::size_t last_active) {
     res_->lifetime_min = now();
     double residual = 0;
-    for (const auto& b : bats_) residual += static_cast<double>(b.n) * unit_;
+    for (std::size_t b = 0; b < soa_->batteries(); ++b) {
+      residual += static_cast<double>(soa_->n(lane_, b)) * unit_;
+    }
     res_->residual_amin = residual;
     record(static_cast<int>(last_active));
   }
@@ -199,7 +236,9 @@ class discrete_model : public model_view {
   [[nodiscard]] rollout_outcome rollout(
       std::size_t candidate, std::size_t horizon_jobs) const override {
     BSCHED_ASSERT(load_ != nullptr && remaining_ >= 0);
-    std::vector<kibam::discrete_state> bats = bats_;  // cheap bank snapshot
+    // Cheap bank snapshot; rollouts never record, so they always run on
+    // the event-horizon kernel.
+    std::vector<kibam::discrete_state> bats = soa_->lane_states(lane_);
     std::int64_t steps = 0;
     // The remainder of the current epoch, then `horizon_jobs` more jobs
     // served greedily; idle epochs pass in between.
@@ -211,14 +250,16 @@ class discrete_model : public model_view {
       const load::epoch& e = load_->at(epoch);
       if (e.current_a <= 0) {
         const std::int64_t len = epoch_steps(e);
-        for (std::int64_t i = 0; i < len; ++i) bank_.step_all(bats);
+        if (len > 0) {
+          bank_->advance_all(bats, kibam::bank::idle, {0, 0}, len);
+        }
         steps += len;
         ++epoch;
         continue;
       }
       const auto choice = greedy_permille(bats);
       BSCHED_ASSERT(choice.has_value());
-      const load::draw_rate rate = load::rate_for(e.current_a, bank_.steps());
+      const load::draw_rate rate = load::rate_for(e.current_a, bank_->steps());
       if (!serve_rollout_job(bats, *choice, rate, epoch_steps(e), steps)) {
         return {to_minutes(steps), true, 0};
       }
@@ -243,15 +284,23 @@ class discrete_model : public model_view {
     // tick can flip which twin survives longer); the discharge clock is
     // reset on activation, so it is excluded — the same notion of
     // interchangeability as the exact search's memo key.
-    return bank_.type_of(a) == bank_.type_of(b) &&
-           bats_[a].n == bats_[b].n && bats_[a].m == bats_[b].m &&
-           bats_[a].recovery_elapsed == bats_[b].recovery_elapsed &&
-           bats_[a].empty == bats_[b].empty;
+    return bank_->type_of(a) == bank_->type_of(b) &&
+           soa_->n(lane_, a) == soa_->n(lane_, b) &&
+           soa_->m(lane_, a) == soa_->m(lane_, b) &&
+           soa_->recovery_elapsed(lane_, a) == soa_->recovery_elapsed(lane_, b) &&
+           soa_->empty(lane_, a) == soa_->empty(lane_, b);
   }
 
  private:
+  void init() {
+    t_step_ = bank_->steps().time_step_min;
+    unit_ = bank_->steps().charge_unit_amin;
+    sample_period_ =
+        std::max<std::int64_t>(1, std::llround(opts_.sample_min / t_step_));
+  }
+
   [[nodiscard]] const kibam::discretization& disc_of(std::size_t b) const {
-    return bank_.disc(b);
+    return bank_->disc(b);
   }
 
   [[nodiscard]] std::int64_t epoch_steps(const load::epoch& e) const {
@@ -285,9 +334,14 @@ class discrete_model : public model_view {
                          std::size_t active, const load::draw_rate& rate,
                          std::int64_t total, std::int64_t& steps) const {
     bats[active].discharge_elapsed = 0;
-    for (std::int64_t i = 0; i < total; ++i) {
-      ++steps;
-      if (bank_.step_all(bats, active, rate) == kibam::step_event::died) {
+    while (total > 0) {
+      const kibam::advance_result a =
+          bank_->advance_all(bats, active, rate, total);
+      steps += a.steps;
+      total -= a.steps;
+      if (a.event == kibam::step_event::died) {
+        // Hand over even when the death lands on the segment's final step:
+        // the greedy pick's zeroed discharge clock is observable state.
         const auto next = greedy_permille(bats);
         if (!next) return false;
         active = *next;
@@ -297,9 +351,14 @@ class discrete_model : public model_view {
     return true;
   }
 
-  kibam::bank bank_;
+  // Owned storage for the standalone entry points; the batched entry
+  // borrows both from engine::run_sweep instead.
+  std::optional<kibam::bank> owned_bank_;
+  std::optional<kibam::soa_bank> owned_soa_;
+  const kibam::bank* bank_ = nullptr;
+  kibam::soa_bank* soa_ = nullptr;
+  std::size_t lane_ = 0;
   sim_options opts_;
-  std::vector<kibam::discrete_state> bats_;
   sim_result* res_ = nullptr;
   const load::trace* load_ = nullptr;
   double t_step_ = 0;
@@ -316,10 +375,11 @@ class discrete_model : public model_view {
     trace_point pt;
     pt.time_min = now();
     pt.active = active;
-    for (std::size_t b = 0; b < bats_.size(); ++b) {
-      pt.total_amin.push_back(static_cast<double>(bats_[b].n) * unit_);
-      const kibam::state cont = disc_of(b).to_continuous(bats_[b].n,
-                                                         bats_[b].m);
+    for (std::size_t b = 0; b < soa_->batteries(); ++b) {
+      const std::int64_t n = soa_->n(lane_, b);
+      const std::int64_t m = soa_->m(lane_, b);
+      pt.total_amin.push_back(static_cast<double>(n) * unit_);
+      const kibam::state cont = disc_of(b).to_continuous(n, m);
       pt.available_amin.push_back(
           kibam::available_charge(disc_of(b).params(), cont));
     }
@@ -559,6 +619,14 @@ sim_result simulate_discrete(
 sim_result simulate_discrete(const kibam::bank& bank, const load::trace& load,
                              policy& pol, const sim_options& opts) {
   discrete_model model{bank, opts};
+  return run_simulation(model, load, pol, opts);
+}
+
+sim_result simulate_discrete_lane(const kibam::bank& bank,
+                                  kibam::soa_bank& soa, std::size_t lane,
+                                  const load::trace& load, policy& pol,
+                                  const sim_options& opts) {
+  discrete_model model{bank, soa, lane, opts};
   return run_simulation(model, load, pol, opts);
 }
 

@@ -24,6 +24,7 @@
 #include "kibam/bank.hpp"
 #include "kibam/discrete.hpp"
 #include "kibam/kibam.hpp"
+#include "kibam/soa.hpp"
 #include "load/discretize.hpp"
 #include "load/trace.hpp"
 #include "sched/policy.hpp"
@@ -85,6 +86,18 @@ struct sim_result {
                                            const load::trace& load,
                                            policy& pol,
                                            const sim_options& opts = {});
+
+/// Discrete simulation running its state in lane `lane` of a shared
+/// kibam::soa_bank (reset to full at run start) — the batched-evaluation
+/// entry engine::run_sweep uses to step replications of one sweep cell
+/// through one cache-friendly state block. Bit-identical to
+/// simulate_discrete(bank, ...); `soa` must wrap `bank`.
+[[nodiscard]] sim_result simulate_discrete_lane(const kibam::bank& bank,
+                                                kibam::soa_bank& soa,
+                                                std::size_t lane,
+                                                const load::trace& load,
+                                                policy& pol,
+                                                const sim_options& opts = {});
 
 /// Discrete simulation of `battery_count` identical batteries (the paper's
 /// Tables 3-5 setup).

@@ -73,6 +73,7 @@ struct coordinator::impl {
   std::map<std::uint64_t, lease_state> active;
   std::uint64_t next_lease = 0;
   std::uint64_t next_epoch = 0;
+  bool gang_released = false;  ///< start_workers quorum reached once.
 
   impl(api::sweep sweep_in, coordinator_options opts_in)
       : sw(std::move(sweep_in)),
@@ -196,6 +197,20 @@ struct coordinator::impl {
   }
 
   void grant_leases(clock::time_point now) {
+    // Gang start: every lease waits until the configured quorum of
+    // workers is ready to take one (monotone — once released, later
+    // disconnects don't re-arm it). Gating on *ready* rather than hello
+    // means steals can be proposed in the same pass the first lease goes
+    // out, before any worker has a head start.
+    if (!gang_released) {
+      std::size_t ready = 0;
+      for (const auto& [fd, peer] : peers) {
+        (void)fd;
+        if (peer.greeted && peer.idle) ++ready;
+      }
+      if (ready < opts.start_workers) return;
+      gang_released = true;
+    }
     // Snapshot the candidate fds: send() may drop a peer mid-loop, and
     // erasing from `peers` would invalidate a live range-for iterator.
     std::vector<int> idle_fds;

@@ -63,6 +63,13 @@ struct coordinator_options {
   /// Sizing hint only — the fleet may be larger or smaller; leases are
   /// handed to whoever connects. Used to pick the default lease size.
   std::size_t workers_expected = 1;
+  /// Gang start: hold every lease until this many workers are connected
+  /// AND ready for work (0 = grant to whoever connects first). Makes
+  /// small fleets deterministic when the work is quick enough for the
+  /// first worker to drain the stream before the rest even dial — with
+  /// the quorum ready, work-steal trims are proposed in the same pass
+  /// the first leases go out.
+  std::size_t start_workers = 0;
   /// Items per lease; 0 derives a default of about leases_per_worker
   /// leases per expected worker.
   std::size_t lease_items = 0;

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <random>
 
 #include "kibam/discrete.hpp"
 #include "load/jobs.hpp"
@@ -30,7 +31,9 @@ TEST(Discretization, RecoveryTableMatchesEq6) {
   for (std::int64_t m = 3; m < 400; ++m) {
     EXPECT_LE(d.recovery_steps(m), d.recovery_steps(m - 1)) << m;
   }
-  EXPECT_THROW((void)d.recovery_steps(1), bsched::error);
+  // m < 2 is an internal invariant violation (hot-path assert, not a
+  // throwing precondition): eq. (6) diverges at m = 1.
+  EXPECT_DEATH_IF_SUPPORTED((void)d.recovery_steps(1), "m >= 2");
 }
 
 TEST(Discretization, EmptyConditionPermille) {
@@ -99,6 +102,107 @@ TEST(DiscreteStep, DeathObservedOnDraw) {
   const auto after = step(d, s, {1, 4});
   EXPECT_EQ(after, step_event::none);
   EXPECT_EQ(s.n, 99);
+}
+
+// --- Event-horizon advance vs the per-tick reference. ---
+
+TEST(AdvanceUntil, BitIdenticalToPerTickStepping) {
+  // Random discharge rates, slice lengths and idle phases; after every
+  // advance_until the state must equal the per-tick state after the same
+  // number of steps, and a death must land on the exact per-tick death
+  // step. Both battery types exercise different recovery tables.
+  for (const auto& params : {battery_b1(), battery_b2()}) {
+    const discretization d{params};
+    std::mt19937_64 rng{0x5eed + static_cast<std::uint64_t>(d.total_units())};
+    std::uniform_int_distribution<int> units_dist{1, 3};
+    std::uniform_int_distribution<int> steps_dist{1, 7};
+    std::uniform_int_distribution<std::int64_t> len_dist{1, 900};
+    std::uniform_int_distribution<int> kind_dist{0, 4};
+    for (int trial = 0; trial < 25; ++trial) {
+      discrete_state fast = full_discrete(d);
+      discrete_state ref = fast;
+      for (int seg = 0; seg < 400 && !ref.empty; ++seg) {
+        const bool idle = kind_dist(rng) == 0;
+        const load::draw_rate rate =
+            idle ? load::draw_rate{0, 0}
+                 : load::draw_rate{units_dist(rng), steps_dist(rng)};
+        if (kind_dist(rng) == 1) {
+          // Epoch boundary: the go_on edge resets the discharge clock.
+          fast.discharge_elapsed = 0;
+          ref.discharge_elapsed = 0;
+        }
+        const std::int64_t max_steps = len_dist(rng);
+        const advance_result a = advance_until(d, fast, rate, max_steps);
+        ASSERT_GE(a.steps, 1);
+        ASSERT_LE(a.steps, max_steps);
+        for (std::int64_t i = 1; i <= a.steps; ++i) {
+          const step_event ev = step(d, ref, rate);
+          if (ev == step_event::died) {
+            // Deaths must coincide exactly with the advance's early return.
+            ASSERT_EQ(i, a.steps) << "per-tick death before advance return";
+            ASSERT_EQ(a.event, step_event::died);
+          }
+        }
+        if (a.event == step_event::died) {
+          ASSERT_TRUE(ref.empty) << "advance died where per-tick survived";
+        } else {
+          ASSERT_EQ(a.steps, max_steps);
+        }
+        ASSERT_EQ(fast, ref) << "trial " << trial << " segment " << seg;
+      }
+    }
+  }
+}
+
+TEST(AdvanceUntil, IdleAdvanceMatchesPerTickRecovery) {
+  const discretization d = paper_disc_b1();
+  discrete_state fast = full_discrete(d);
+  fast.n = 300;
+  fast.m = 45;
+  fast.recovery_elapsed = 3;
+  discrete_state ref = fast;
+  const std::int64_t steps = 50'000;
+  const advance_result a = advance_until(d, fast, {0, 0}, steps);
+  EXPECT_EQ(a.steps, steps);
+  EXPECT_EQ(a.event, step_event::none);
+  for (std::int64_t i = 0; i < steps; ++i) step(d, ref, {0, 0});
+  EXPECT_EQ(fast, ref);
+  EXPECT_LT(fast.m, 45);  // recovery actually ran
+}
+
+TEST(DiscreteLifetime, MatchesPerTickReference) {
+  // discrete_lifetime now runs on the event-horizon kernel; this is the
+  // old per-tick loop, kept as the executable specification.
+  const auto per_tick = [](const discretization& d, const load::trace& t) {
+    discrete_state s = full_discrete(d);
+    load::epoch_cursor cursor{t};
+    std::int64_t step_count = 0;
+    const double t_step = d.steps().time_step_min;
+    for (;;) {
+      const load::epoch& e = cursor.current();
+      const load::draw_rate rate =
+          e.current_a > 0 ? load::rate_for(e.current_a, d.steps())
+                          : load::draw_rate{0, 0};
+      const auto epoch_steps =
+          static_cast<std::int64_t>(std::llround(e.duration_min / t_step));
+      s.discharge_elapsed = 0;
+      for (std::int64_t i = 0; i < epoch_steps; ++i) {
+        ++step_count;
+        if (step(d, s, rate) == step_event::died) {
+          return static_cast<double>(step_count) * t_step;
+        }
+      }
+      cursor.advance();
+    }
+  };
+  for (const auto load : {load::test_load::cl_alt, load::test_load::ils_alt,
+                          load::test_load::ils_r1}) {
+    const load::trace t = load::paper_trace(load);
+    for (const auto& params : {battery_b1(), battery_b2()}) {
+      const discretization d{params};
+      EXPECT_EQ(discrete_lifetime(d, t), per_tick(d, t)) << load::name(load);
+    }
+  }
 }
 
 // --- TA-KiBaM validation columns (Tables 3 and 4, dKiBaM). ---

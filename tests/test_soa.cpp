@@ -1,0 +1,197 @@
+// Differential tests for the batched dKiBaM kernels: bank::advance_all and
+// soa_bank (lane stepping) against the per-tick reference bank::step_all.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "kibam/bank.hpp"
+#include "kibam/discrete.hpp"
+#include "kibam/parameters.hpp"
+#include "kibam/soa.hpp"
+
+namespace bsched::kibam {
+namespace {
+
+bank mixed_bank() {
+  return bank{{battery_b1(), battery_b2(), battery_b1()}};
+}
+
+/// Random alternation of jobs (random active battery, random rate), idle
+/// phases and go_on discharge-clock resets — the protocol shapes the
+/// simulator drives the kernels with.
+struct segment {
+  std::size_t active;  // bank::idle for a rest phase
+  load::draw_rate rate;
+  std::int64_t steps;
+  bool reset_clock;
+};
+
+std::vector<segment> random_plan(std::mt19937_64& rng, std::size_t batteries,
+                                 std::size_t count) {
+  std::uniform_int_distribution<int> units{1, 3};
+  std::uniform_int_distribution<int> period{1, 7};
+  std::uniform_int_distribution<std::int64_t> len{1, 700};
+  std::uniform_int_distribution<std::size_t> pick{0, batteries - 1};
+  std::uniform_int_distribution<int> kind{0, 4};
+  std::vector<segment> plan;
+  plan.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const bool idle = kind(rng) == 0;
+    plan.push_back({idle ? bank::idle : pick(rng),
+                    idle ? load::draw_rate{0, 0}
+                         : load::draw_rate{units(rng), period(rng)},
+                    len(rng), kind(rng) == 1});
+  }
+  return plan;
+}
+
+TEST(BankAdvanceAll, BitIdenticalToStepAll) {
+  const bank bk = mixed_bank();
+  std::mt19937_64 rng{1};
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<discrete_state> fast = bk.full_states();
+    std::vector<discrete_state> ref = bk.full_states();
+    for (const segment& seg : random_plan(rng, bk.size(), 60)) {
+      const bool active_usable =
+          seg.active == bank::idle || !ref[seg.active].empty;
+      if (!active_usable) continue;
+      if (seg.reset_clock && seg.active != bank::idle) {
+        fast[seg.active].discharge_elapsed = 0;
+        ref[seg.active].discharge_elapsed = 0;
+      }
+      const advance_result a =
+          bk.advance_all(fast, seg.active, seg.rate, seg.steps);
+      ASSERT_GE(a.steps, 1);
+      ASSERT_LE(a.steps, seg.steps);
+      for (std::int64_t i = 1; i <= a.steps; ++i) {
+        const step_event ev = bk.step_all(ref, seg.active, seg.rate);
+        if (ev == step_event::died) {
+          ASSERT_EQ(i, a.steps) << "per-tick death before advance return";
+          ASSERT_EQ(a.event, step_event::died);
+        }
+      }
+      if (a.event != step_event::died) {
+        ASSERT_EQ(a.steps, seg.steps);
+      }
+      ASSERT_EQ(fast, ref) << "trial " << trial;
+    }
+  }
+}
+
+TEST(SoaBank, InitializesEveryLaneFull) {
+  const bank bk = mixed_bank();
+  soa_bank soa{bk, 3};
+  EXPECT_EQ(soa.batteries(), bk.size());
+  EXPECT_EQ(soa.lanes(), 3u);
+  EXPECT_EQ(&soa.source(), &bk);
+  const std::vector<discrete_state> full = bk.full_states();
+  for (std::size_t lane = 0; lane < soa.lanes(); ++lane) {
+    EXPECT_EQ(soa.lane_states(lane), full);
+    EXPECT_FALSE(soa.lane_all_empty(lane));
+  }
+}
+
+TEST(SoaBank, StepLaneMatchesStepAllPerLane) {
+  // Three lanes running three different plans; every lane must track its
+  // own per-tick vector exactly (lanes are independent).
+  const bank bk = mixed_bank();
+  soa_bank soa{bk, 3};
+  std::mt19937_64 rng{2};
+  std::vector<std::vector<segment>> plans;
+  std::vector<std::vector<discrete_state>> refs;
+  for (std::size_t lane = 0; lane < soa.lanes(); ++lane) {
+    plans.push_back(random_plan(rng, bk.size(), 12));
+    refs.push_back(bk.full_states());
+    for (segment& seg : plans.back()) {
+      seg.steps = std::min<std::int64_t>(seg.steps, 40);  // per-tick: keep small
+    }
+  }
+  for (std::size_t lane = 0; lane < soa.lanes(); ++lane) {
+    for (const segment& seg : plans[lane]) {
+      for (std::int64_t i = 0; i < seg.steps; ++i) {
+        const step_event a = soa.step_lane(lane, seg.active, seg.rate);
+        const step_event b = bk.step_all(refs[lane], seg.active, seg.rate);
+        ASSERT_EQ(a, b);
+      }
+      ASSERT_EQ(soa.lane_states(lane), refs[lane]);
+    }
+  }
+  // Untouched state in other lanes never moved.
+  for (std::size_t lane = 0; lane < soa.lanes(); ++lane) {
+    EXPECT_EQ(soa.lane_states(lane), refs[lane]);
+  }
+}
+
+TEST(SoaBank, AdvanceLaneMatchesPerTickAcrossLanes) {
+  // Interleave advances across lanes (the sweep-batch access pattern) and
+  // diff each lane against its own per-tick reference, including deaths
+  // and epoch-boundary clock resets.
+  const bank bk = mixed_bank();
+  constexpr std::size_t lanes = 4;
+  soa_bank soa{bk, lanes};
+  std::mt19937_64 rng{3};
+  std::vector<std::vector<discrete_state>> refs;
+  std::vector<std::vector<segment>> plans;
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    refs.push_back(bk.full_states());
+    plans.push_back(random_plan(rng, bk.size(), 50));
+  }
+  for (std::size_t i = 0; i < 50; ++i) {
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      const segment& seg = plans[lane][i];
+      const bool active_usable =
+          seg.active == bank::idle || !refs[lane][seg.active].empty;
+      if (!active_usable) continue;
+      if (seg.reset_clock && seg.active != bank::idle) {
+        soa.reset_discharge(lane, seg.active);
+        refs[lane][seg.active].discharge_elapsed = 0;
+      }
+      const advance_result a =
+          soa.advance_lane(lane, seg.active, seg.rate, seg.steps);
+      for (std::int64_t s = 1; s <= a.steps; ++s) {
+        const step_event ev = bk.step_all(refs[lane], seg.active, seg.rate);
+        if (ev == step_event::died) {
+          ASSERT_EQ(s, a.steps);
+          ASSERT_EQ(a.event, step_event::died);
+        }
+      }
+      if (a.event != step_event::died) {
+        ASSERT_EQ(a.steps, seg.steps);
+      }
+      ASSERT_EQ(soa.lane_states(lane), refs[lane])
+          << "lane " << lane << " segment " << i;
+    }
+  }
+}
+
+TEST(SoaBank, ResetLaneRestoresFullWithoutTouchingOthers) {
+  const bank bk = mixed_bank();
+  soa_bank soa{bk, 2};
+  // Wear lane 0 and lane 1 differently.
+  for (int i = 0; i < 500; ++i) soa.step_lane(0, 0, {2, 1});
+  for (int i = 0; i < 100; ++i) soa.step_lane(1, 1, {1, 2});
+  const std::vector<discrete_state> lane1 = soa.lane_states(1);
+  soa.reset_lane(0);
+  EXPECT_EQ(soa.lane_states(0), bk.full_states());
+  EXPECT_EQ(soa.lane_states(1), lane1);
+}
+
+TEST(SoaBank, EmptyLaneDetection) {
+  const discretization d{battery_b1()};
+  const bank bk{d, 2};
+  soa_bank soa{bk, 1};
+  // Drain both batteries flat-out.
+  for (std::size_t b = 0; b < 2; ++b) {
+    while (!soa.empty(0, b)) {
+      const advance_result a = soa.advance_lane(0, b, {3, 1}, 1'000'000);
+      if (a.event != step_event::died) break;
+    }
+    EXPECT_TRUE(soa.empty(0, b));
+    EXPECT_EQ(soa.lane_all_empty(0), b == 1);
+  }
+}
+
+}  // namespace
+}  // namespace bsched::kibam

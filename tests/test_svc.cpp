@@ -274,16 +274,36 @@ TEST(SvcService, WorkerDyingMidShardStillMergesExactly) {
 }
 
 TEST(SvcService, StragglerSplitKeepsCoverageDisjoint) {
-  const api::sweep sw = grid(12);
+  // A grid heavy enough (five batteries, long episodes, lookahead
+  // rollouts at every decision) that the lease runtime dwarfs any
+  // scheduler hiccup between the coordinator granting it and its trim
+  // proposal landing — the batched kernels drain grid() faster than the
+  // handshake can complete.
+  api::sweep sw;
+  for (const char* load : {"random:count=2000,p=0.2,seed=1",
+                           "markov:count=2000,p=0.6,seed=2"}) {
+    sw.cells.push_back(
+        api::scenario{.label = {},
+                      .batteries = api::bank(5, kibam::battery_b1()),
+                      .load = api::load_spec::parse(load),
+                      .policy = "lookahead:horizon=4",
+                      .model = api::fidelity::discrete,
+                      .steps = {},
+                      .sim = {}});
+  }
+  sw.replications = 24;
+  sw.seed = 2009;
   const std::vector<api::cell_summary> ref = reference(sw);
   const std::size_t total = sw.cells.size() * sw.replications;
 
   // One lease spans the whole stream, so the first worker to connect
   // becomes the straggler; the second can only ever get work through a
-  // steal. Chunk 1 gives the trim handshake item resolution.
+  // steal. Chunk 1 gives the trim handshake item resolution, and the
+  // gang start keeps the lease on hold until both workers are ready.
   coordinator_options opts;
   opts.lease_items = total;
   opts.chunk_items = 1;
+  opts.start_workers = 2;
   opts.deadline_s = 120;
   coordinator coord{sw, opts};
   auto served = serve(coord);
