@@ -1,26 +1,129 @@
 #!/usr/bin/env bash
-# CI entry point with two build flavours:
-#   debug    — Debug build, warnings-as-errors, full test suite;
-#   release  — optimized Release build, full test suite plus smoke runs of the
-#              examples/benches, so optimized-build breakage and gross perf
-#              regressions surface in CI.
-# With no argument both flavours run in sequence.
+# CI entry point. Flavours:
+#   debug      — Debug build, warnings-as-errors, full test suite;
+#   release    — optimized Release build, full test suite plus smoke runs
+#                of the examples/benches and the perf gate, so
+#                optimized-build breakage and gross perf regressions
+#                surface in CI;
+#   asan-ubsan — AddressSanitizer + UndefinedBehaviorSanitizer build,
+#                full test suite (leak detection on, first report fatal);
+#   tsan       — ThreadSanitizer build; runs the concurrency-heavy
+#                suites, with the Stress suite (tests/test_stress.cpp)
+#                as the headline — racy-by-construction schedules that
+#                exist to give TSan something to bite. No perf gate:
+#                sanitizer timing is meaningless;
+#   lint       — the project lint (scripts/lint_bsched.py, self-test
+#                first) and the perf-gate regression tests;
+#   tidy       — clang-tidy over src/ tools/ tests/ (scripts/tidy.sh).
+# With no argument every flavour runs in sequence.
+#
+# ccache is used automatically when installed (the GitHub workflow
+# caches it across runs to keep the five-build matrix affordable).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_PREFIX="${BUILD_PREFIX:-build-ci}"
 JOBS="${JOBS:-$(nproc)}"
 
+# One EXIT trap owns every temp dir and background process the smoke
+# steps create: a step failing mid-way must not leak mktemp dirs or
+# stray sweep_serve/sweep_worker processes into the CI box (or the
+# developer's machine). Steps register into these arrays instead of
+# cleaning up ad hoc.
+CLEANUP_DIRS=()
+CLEANUP_PIDS=()
+cleanup() {
+  local status=$? pid dir f
+  for pid in "${CLEANUP_PIDS[@]}"; do
+    kill -9 "$pid" 2> /dev/null || true
+  done
+  # Reap everything we killed (and any smoke background jobs) so no
+  # zombie outlives the script.
+  wait 2> /dev/null || true
+  # On failure, surface the smoke logs before deleting them — most
+  # smoke commands redirect stderr into the temp dirs, so without this
+  # a failing step leaves no trace in the CI output.
+  if [ "$status" -ne 0 ]; then
+    for dir in "${CLEANUP_DIRS[@]}"; do
+      for f in "$dir"/*.log; do
+        [ -f "$f" ] && { echo "=== $f ==="; tail -40 "$f"; } >&2
+      done
+    done
+  fi
+  for dir in "${CLEANUP_DIRS[@]}"; do
+    rm -rf "$dir"
+  done
+}
+trap cleanup EXIT
+
+tmpdir() {
+  local dir
+  dir="$(mktemp -d)"
+  CLEANUP_DIRS+=("$dir")
+  echo "$dir"
+}
+
+CCACHE_FLAG=()
+if command -v ccache > /dev/null 2>&1; then
+  CCACHE_FLAG=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+configure_and_build() {
+  local dir="$1" build_type="$2"
+  shift 2
+  cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE="$build_type" -DBSCHED_WERROR=ON \
+    "${CCACHE_FLAG[@]}" "$@"
+  cmake --build "$dir" -j "$JOBS"
+}
+
 build_and_test() {
   local flavour="$1" build_type="$2"
   local dir="$BUILD_PREFIX-$flavour"
-  cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE="$build_type" -DBSCHED_WERROR=ON
-  cmake --build "$dir" -j "$JOBS"
+  configure_and_build "$dir" "$build_type"
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
 }
 
 run_debug() {
   build_and_test debug Debug
+}
+
+run_asan_ubsan() {
+  local dir="$BUILD_PREFIX-asan"
+  # RelWithDebInfo: optimized enough to finish quickly, debug info for
+  # readable reports. -fno-sanitize-recover (set by BSCHED_SANITIZE)
+  # plus halt_on_error make the first finding fatal.
+  configure_and_build "$dir" RelWithDebInfo \
+    -DBSCHED_SANITIZE=address,undefined
+  ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1:halt_on_error=1" \
+    UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+    ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+run_tsan() {
+  local dir="$BUILD_PREFIX-tsan"
+  configure_and_build "$dir" RelWithDebInfo -DBSCHED_SANITIZE=thread
+  # The stress suite is the point of this flavour — run it first and
+  # standalone (fail loudly if the filter ever goes empty), then the
+  # rest of the concurrency surface: the sweep pool, the svc fleet, the
+  # net framing, and the api engine's thread-count-independence tests.
+  TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
+    ctest --test-dir "$dir" -R "Stress" --no-tests=error \
+    --output-on-failure -j "$JOBS"
+  TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
+    ctest --test-dir "$dir" -R "Svc|Sweep|Api|Dist|Net" --no-tests=error \
+    --output-on-failure -j "$JOBS"
+}
+
+run_lint() {
+  # The lint checks itself before it checks the tree; the perf gate's
+  # own regression tests ride in this flavour too (pure python, no build).
+  python3 scripts/lint_bsched.py --self-test
+  python3 scripts/lint_bsched.py
+  python3 tests/test_bench_gate.py
+}
+
+run_tidy() {
+  ./scripts/tidy.sh
 }
 
 run_release() {
@@ -37,8 +140,9 @@ run_release() {
   # The exact-search and rollout suites re-run optimized: the search
   # golden regressions (Table 5 node counts, lookahead decision vectors)
   # and the online-rollout hot path must hold under -O2, not just in the
-  # Debug flavour.
-  ctest --test-dir "$dir" -R "Opt|Lookahead" --no-tests=error \
+  # Debug flavour. The concurrency stress schedules re-run optimized
+  # too (they also run under TSan in the tsan flavour).
+  ctest --test-dir "$dir" -R "Opt|Lookahead|Stress" --no-tests=error \
     --output-on-failure -j "$JOBS"
   # Smoke runs: the replicated-sweep example must agree across thread
   # counts (exits non-zero when the multi-threaded aggregates mismatch
@@ -54,7 +158,7 @@ run_release() {
   # any mismatch beyond the documented merge tolerance) — this pins the
   # codec format and the shard/merge path end to end.
   local shard_dir
-  shard_dir="$(mktemp -d)"
+  shard_dir="$(tmpdir)"
   "$dir/scenario_sweep" --threads 2 --replications 10 \
     --csv "$shard_dir/ref.csv" > /dev/null
   for k in 0 1 2; do
@@ -63,15 +167,16 @@ run_release() {
   done
   "$dir/sweep_merge" --expect "$shard_dir/ref.csv" "$shard_dir"/shard*.agg \
     > /dev/null
-  rm -rf "$shard_dir"
   # Sweep-service crash-recovery smoke: a coordinator plus three live
   # workers, one of which is kill -9'ed right after its first lease is
   # granted (gated on the coordinator log so the kill always lands
   # mid-campaign). The coordinator must re-queue the dead worker's range
   # (asserted from the log) and the merged aggregate must still match
-  # the single-process reference through sweep_merge --expect.
+  # the single-process reference through sweep_merge --expect. Every
+  # background PID registers with the EXIT trap, so a failure anywhere
+  # in this block leaves no stray serve/worker processes behind.
   local svc_dir serve_pid victim_pid port
-  svc_dir="$(mktemp -d)"
+  svc_dir="$(tmpdir)"
   "$dir/scenario_sweep" --threads 2 --replications 300 \
     --csv "$svc_dir/ref.csv" > /dev/null
   "$dir/sweep_serve" --replications 300 --port 0 \
@@ -79,26 +184,36 @@ run_release() {
     --lease-items 500 --chunk 5 --deadline 120 --agg "$svc_dir/svc.agg" \
     > /dev/null 2> "$svc_dir/serve.log" &
   serve_pid=$!
+  CLEANUP_PIDS+=("$serve_pid")
   for _ in $(seq 1 100); do [ -s "$svc_dir/port" ] && break; sleep 0.1; done
   port="$(cat "$svc_dir/port")"
   "$dir/sweep_worker" --connect "127.0.0.1:$port" --name victim --quiet \
     2> /dev/null &
   victim_pid=$!
-  for _ in $(seq 1 250); do
+  CLEANUP_PIDS+=("$victim_pid")
+  for _ in $(seq 1 750); do
     grep -q -- "-> worker 'victim'" "$svc_dir/serve.log" && break
     sleep 0.02
   done
+  # The kill must land mid-lease or there is nothing to recover from;
+  # fail loudly (with the log) rather than let the re-queue assertion
+  # below fail bare when a loaded box delays the handshake past the gate.
+  grep -q -- "-> worker 'victim'" "$svc_dir/serve.log" || {
+    echo "ci: victim worker never granted a lease within the gate" >&2
+    exit 1
+  }
   kill -9 "$victim_pid"
   "$dir/sweep_worker" --connect "127.0.0.1:$port" --name w1 --quiet \
     2> /dev/null &
+  CLEANUP_PIDS+=("$!")
   "$dir/sweep_worker" --connect "127.0.0.1:$port" --name w2 --quiet \
     2> /dev/null &
+  CLEANUP_PIDS+=("$!")
   wait "$serve_pid"
   wait || true  # reap the killed victim without failing the script
   grep -Eq "[1-9][0-9]* lease\(s\) re-queued" "$svc_dir/serve.log"
   "$dir/sweep_merge" --expect "$svc_dir/ref.csv" "$svc_dir/svc.agg" \
     > /dev/null
-  rm -rf "$svc_dir"
   "$dir/bench_table3" > /dev/null
   "$dir/bench_lookahead" > /dev/null
   # Perf gate: the microbenchmarks run in JSON mode and are judged
@@ -107,7 +222,8 @@ run_release() {
   # kernel degrading to per-tick stepping, batched evaluation falling
   # back to scalar), not cycle-level noise. After a deliberate perf
   # change, refresh the baseline with scripts/bench_gate.py --update
-  # and commit it with the change.
+  # and commit it with the change. (Sanitizer flavours never run this —
+  # their timing says nothing.)
   if [ -x "$dir/bench_micro" ]; then
     "$dir/bench_micro" --benchmark_min_time=0.1 \
       --benchmark_format=json --benchmark_out="$dir/bench_micro.json"
@@ -119,9 +235,15 @@ run_release() {
 }
 
 case "${1:-all}" in
-  debug)   run_debug ;;
-  release) run_release ;;
-  all)     run_debug; run_release ;;
-  *) echo "usage: $0 [debug|release|all]" >&2; exit 2 ;;
+  debug)      run_debug ;;
+  release)    run_release ;;
+  asan-ubsan) run_asan_ubsan ;;
+  tsan)       run_tsan ;;
+  lint)       run_lint ;;
+  tidy)       run_tidy ;;
+  all)        run_lint; run_tidy; run_debug; run_release
+              run_asan_ubsan; run_tsan ;;
+  *) echo "usage: $0 [debug|release|asan-ubsan|tsan|lint|tidy|all]" >&2
+     exit 2 ;;
 esac
 echo "ci: OK"

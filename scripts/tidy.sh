@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# clang-tidy gate: runs the committed .clang-tidy profile (warnings as
+# errors) over src/ tools/ tests/ against a fresh compile_commands.json.
+#
+# Usage:
+#   scripts/tidy.sh [file...]     tidy the given files (default: all)
+#
+# Environment:
+#   CLANG_TIDY   clang-tidy binary to use. CI pins one explicitly
+#                (clang-tidy-$LLVM_VERSION); locally the newest
+#                installed version is picked up. When none is found the
+#                script reports and exits 0 so the other ci.sh flavours
+#                keep working on boxes without LLVM — the CI tidy job
+#                always has one and therefore always really gates.
+#   BUILD_PREFIX same convention as scripts/ci.sh (default build-ci);
+#                the compile database builds in $BUILD_PREFIX-tidy.
+#   JOBS         parallel tidy processes (default: nproc).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+BUILD_PREFIX="${BUILD_PREFIX:-build-ci}"
+DIR="$BUILD_PREFIX-tidy"
+
+find_clang_tidy() {
+  if [ -n "${CLANG_TIDY:-}" ]; then
+    echo "$CLANG_TIDY"
+    return
+  fi
+  local candidate
+  for candidate in clang-tidy-20 clang-tidy-19 clang-tidy-18 \
+                   clang-tidy-17 clang-tidy; do
+    if command -v "$candidate" > /dev/null 2>&1; then
+      echo "$candidate"
+      return
+    fi
+  done
+}
+
+TIDY="$(find_clang_tidy)"
+if [ -z "$TIDY" ]; then
+  echo "tidy: clang-tidy not found (set CLANG_TIDY or install LLVM);" \
+       "skipping — the CI tidy job gates this" >&2
+  exit 0
+fi
+
+cmake -B "$DIR" -S . -DCMAKE_BUILD_TYPE=Debug > /dev/null
+# gtest is found via the compile database's include paths; nothing needs
+# to be built — tidy works from sources plus compile_commands.json.
+
+if [ "$#" -gt 0 ]; then
+  files=("$@")
+else
+  mapfile -t files < <(find src tools tests -name '*.cpp' | sort)
+fi
+
+echo "tidy: $("$TIDY" --version | head -n 1 | sed 's/^ *//')"
+echo "tidy: checking ${#files[@]} file(s) with $JOBS job(s)"
+
+# xargs fans the files out; any finding fails the gate (.clang-tidy sets
+# WarningsAsErrors: '*'). --quiet keeps the output to actual findings.
+printf '%s\0' "${files[@]}" |
+  xargs -0 -n 4 -P "$JOBS" "$TIDY" -p "$DIR" --quiet
+
+echo "tidy: OK"

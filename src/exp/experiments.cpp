@@ -35,7 +35,7 @@ std::vector<double> sweep_lifetimes(const api::engine& engine,
     lifetimes[r.cell] = r.result.sim.lifetime_min;
   });
   require(first_error.empty(),
-          "experiment scenario failed: " + first_error);
+          "exp: scenario failed: " + first_error);
   return lifetimes;
 }
 
@@ -171,7 +171,7 @@ std::vector<residual_point> residual_sweep(const std::vector<double>& scales,
     out[r.cell] = {scales[r.cell], capacity, r.result.sim.lifetime_min,
                    r.result.sim.residual_amin / initial};
   });
-  require(first_error.empty(), "experiment scenario failed: " + first_error);
+  require(first_error.empty(), "exp: scenario failed: " + first_error);
   return out;
 }
 

@@ -1,5 +1,6 @@
 #include "net/message.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/error.hpp"
@@ -26,12 +27,27 @@ message make(std::string type) {
 
 namespace {
 
+/// Control bytes (NUL, tabs, CR, DEL, ...) never appear in a valid
+/// header; bytes >= 0x80 pass through opaquely (worker names may be
+/// UTF-8).
+bool is_header_byte(unsigned char c) { return c >= 0x20 && c != 0x7f; }
+
 bool is_token(std::string_view s) {
   if (s.empty()) return false;
   for (const char c : s) {
-    if (c == ' ' || c == '\n' || c == '\r' || c == '=') return false;
+    if (!is_header_byte(static_cast<unsigned char>(c)) || c == ' ' ||
+        c == '=') {
+      return false;
+    }
   }
   return true;
+}
+
+/// At most `limit` bytes of hostile input, for error messages: enough
+/// to identify the frame, never enough to amplify it.
+std::string clip(std::string_view s, std::size_t limit = 64) {
+  if (s.size() <= limit) return std::string{s};
+  return std::string{s.substr(0, limit)} + "...";
 }
 
 }  // namespace
@@ -43,9 +59,14 @@ std::string encode(const message& m) {
   for (const auto& [key, value] : m.fields) {
     require(is_token(key),
             "net: field name '" + key + "' is not a header token");
-    require(value.find_first_of(" \n\r") == std::string::npos,
-            "net: field '" + key + "' value contains whitespace — bulky "
-            "payloads belong in the body");
+    require(std::all_of(value.begin(), value.end(),
+                        [](char c) {
+                          return is_header_byte(
+                                     static_cast<unsigned char>(c)) &&
+                                 c != ' ';
+                        }),
+            "net: field '" + key + "' value contains whitespace or "
+            "control bytes — bulky payloads belong in the body");
     out += ' ';
     out += key;
     out += '=';
@@ -60,13 +81,21 @@ message decode(std::string_view frame) {
   const std::size_t eol = frame.find('\n');
   require(eol != std::string_view::npos,
           "net: frame has no header line terminator");
+  require(eol <= max_header_bytes,
+          "net: header line of " + std::to_string(eol) +
+              " bytes exceeds the " + std::to_string(max_header_bytes) +
+              "-byte limit");
   std::string_view header = frame.substr(0, eol);
+  for (const char c : header) {
+    require(is_header_byte(static_cast<unsigned char>(c)),
+            "net: header contains control bytes: '" + clip(header) + "'");
+  }
 
   const std::string magic =
       "bsched-msg v" + std::to_string(protocol_version);
   require(header.substr(0, magic.size()) == magic &&
               header.size() > magic.size() && header[magic.size()] == ' ',
-          "net: bad message magic '" + std::string{header} +
+          "net: bad message magic '" + clip(header) +
               "' (this peer speaks '" + magic + "')");
   header.remove_prefix(magic.size() + 1);
 
@@ -81,8 +110,8 @@ message decode(std::string_view frame) {
     if (field.empty()) continue;
     const std::size_t eq = field.find('=');
     require(eq != std::string_view::npos && eq > 0,
-            "net: malformed header field '" + std::string{field} +
-                "' in message '" + m.type + "'");
+            "net: malformed header field '" + clip(field) +
+                "' in message '" + clip(m.type) + "'");
     m.fields.emplace(std::string{field.substr(0, eq)},
                      std::string{field.substr(eq + 1)});
   }

@@ -19,6 +19,12 @@ class error : public std::runtime_error {
 };
 
 /// Throws `bsched::error` with `message` unless `condition` holds.
+///
+/// Messages start with an origin prefix — "<module>: ", "<function>: " —
+/// naming the throwing component, so an error surfaced through the API
+/// (or a wire protocol) identifies its source without a stack trace.
+/// scripts/lint_bsched.py (rule `require-prefix`) enforces this across
+/// src/.
 inline void require(bool condition, const std::string& message) {
   if (!condition) throw error(message);
 }

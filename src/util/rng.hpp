@@ -3,6 +3,11 @@
 // All stochastic components of bsched take an explicit 64-bit seed so that
 // every experiment is exactly reproducible. The generator is xoshiro256**,
 // seeded through splitmix64 as recommended by its authors.
+//
+// This module is the tree's ONLY source of randomness: no rand()/srand(),
+// std::random_device, std::mt19937 or wall-clock seeding anywhere else in
+// src/, or replicated sweeps stop being reproducible and mergeable.
+// scripts/lint_bsched.py (rule `rng-discipline`) enforces this.
 #pragma once
 
 #include <array>

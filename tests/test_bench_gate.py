@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Regression tests for scripts/bench_gate.py — the perf gate itself.
+
+Plain stdlib unittest (the CI image has no pytest), run from ci.sh's
+lint flavour:  python3 tests/test_bench_gate.py
+"""
+
+import importlib.util
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+
+_SCRIPTS = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "..", "scripts")
+_spec = importlib.util.spec_from_file_location(
+    "bench_gate", os.path.join(_SCRIPTS, "bench_gate.py"))
+bench_gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_gate)
+
+
+def run_doc(benchmarks, context=None):
+    """A google-benchmark JSON document with the given benchmark rows."""
+    return {"context": context or {"host_name": "test"},
+            "benchmarks": benchmarks}
+
+
+def iteration(name, cpu_time, run_type="iteration"):
+    return {"name": name, "run_type": run_type, "cpu_time": cpu_time,
+            "time_unit": "ns"}
+
+
+class BenchGateTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self._tmp.cleanup)
+
+    def path(self, name, doc=None):
+        p = os.path.join(self._tmp.name, name)
+        if doc is not None:
+            with open(p, "w") as f:
+                json.dump(doc, f)
+        return p
+
+    def gate(self, *argv):
+        """Runs bench_gate.main() with argv; returns (exit_code, output)."""
+        out = io.StringIO()
+        old = sys.argv
+        sys.argv = ["bench_gate.py", *argv]
+        try:
+            with redirect_stdout(out), redirect_stderr(out):
+                code = bench_gate.main()
+        finally:
+            sys.argv = old
+        return code, out.getvalue()
+
+    # --- the 3x step-function tolerance ---------------------------------
+
+    def test_within_tolerance_passes(self):
+        base = self.path("base.json", run_doc([iteration("bm_a", 100.0)]))
+        cur = self.path("cur.json", run_doc([iteration("bm_a", 299.0)]))
+        code, out = self.gate("--baseline", base, "--current", cur,
+                              "--tolerance", "3.0")
+        self.assertEqual(code, 0, out)
+        self.assertIn("OK", out)
+
+    def test_exactly_at_tolerance_passes(self):
+        # The gate is `ratio <= tolerance`: a benchmark sitting exactly on
+        # the boundary is not a regression.
+        base = self.path("base.json", run_doc([iteration("bm_a", 100.0)]))
+        cur = self.path("cur.json", run_doc([iteration("bm_a", 300.0)]))
+        code, out = self.gate("--baseline", base, "--current", cur,
+                              "--tolerance", "3.0")
+        self.assertEqual(code, 0, out)
+
+    def test_step_function_regression_fails(self):
+        base = self.path("base.json", run_doc(
+            [iteration("bm_a", 100.0), iteration("bm_b", 50.0)]))
+        cur = self.path("cur.json", run_doc(
+            [iteration("bm_a", 301.0), iteration("bm_b", 50.0)]))
+        code, out = self.gate("--baseline", base, "--current", cur,
+                              "--tolerance", "3.0")
+        self.assertEqual(code, 1)
+        self.assertIn("bm_a", out)
+        self.assertIn("FAIL", out)
+
+    def test_new_benchmark_passes_with_note(self):
+        base = self.path("base.json", run_doc([iteration("bm_a", 100.0)]))
+        cur = self.path("cur.json", run_doc(
+            [iteration("bm_a", 100.0), iteration("bm_new", 1.0)]))
+        code, out = self.gate("--baseline", base, "--current", cur)
+        self.assertEqual(code, 0, out)
+        self.assertIn("NEW", out)
+
+    def test_aggregate_rows_are_ignored(self):
+        # mean/median/stddev rows must not be judged (or double-counted).
+        base = self.path("base.json", run_doc([iteration("bm_a", 100.0)]))
+        cur = self.path("cur.json", run_doc(
+            [iteration("bm_a", 100.0),
+             iteration("bm_a_mean", 900.0, run_type="aggregate")]))
+        code, out = self.gate("--baseline", base, "--current", cur)
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("bm_a_mean", out)
+
+    # --- the MISSING-bench failure path ---------------------------------
+
+    def test_missing_benchmark_fails(self):
+        base = self.path("base.json", run_doc(
+            [iteration("bm_a", 100.0), iteration("bm_gone", 10.0)]))
+        cur = self.path("cur.json", run_doc([iteration("bm_a", 100.0)]))
+        code, out = self.gate("--baseline", base, "--current", cur)
+        self.assertEqual(code, 1)
+        self.assertIn("MISSING", out)
+        self.assertIn("bm_gone", out)
+
+    def test_empty_current_run_fails(self):
+        base = self.path("base.json", run_doc([iteration("bm_a", 100.0)]))
+        cur = self.path("cur.json", run_doc([]))
+        code, out = self.gate("--baseline", base, "--current", cur)
+        self.assertEqual(code, 1)
+        self.assertIn("no benchmarks", out)
+
+    # --- the --update round-trip ----------------------------------------
+
+    def test_update_round_trip(self):
+        cur = self.path("cur.json", run_doc(
+            [iteration("bm_a", 123.5), iteration("bm_b", 7.25),
+             iteration("bm_a_mean", 999.0, run_type="aggregate")],
+            context={"host_name": "ci", "num_cpus": 4}))
+        base = self.path("base.json")
+
+        code, out = self.gate("--baseline", base, "--current", cur,
+                              "--update")
+        self.assertEqual(code, 0, out)
+        self.assertIn("updated", out)
+
+        # The written baseline is trimmed (context + iteration rows only)
+        # and judges its own source run clean — the round-trip property
+        # every --update + commit relies on.
+        with open(base) as f:
+            written = json.load(f)
+        self.assertEqual(written["context"]["host_name"], "ci")
+        names = [b["name"] for b in written["benchmarks"]]
+        self.assertEqual(sorted(names), ["bm_a", "bm_b"])
+        for b in written["benchmarks"]:
+            self.assertEqual(b["run_type"], "iteration")
+
+        code, out = self.gate("--baseline", base, "--current", cur,
+                              "--tolerance", "1.0")
+        self.assertEqual(code, 0, out)
+        self.assertIn("OK", out)
+
+
+if __name__ == "__main__":
+    unittest.main()

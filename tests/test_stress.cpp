@@ -1,0 +1,367 @@
+// Concurrency stress suites — racy-by-construction schedules for the
+// sanitizer CI flavours (scripts/ci.sh asan-ubsan / tsan), runnable
+// standalone with `ctest -R Stress`.
+//
+// Every test here is seeded and bounded: the *output* is deterministic
+// (aggregates compare exactly against a single-threaded reference, frame
+// streams replay a fixed rng), while the *schedule* maximizes
+// interleavings — thread counts well above the core count, chunk/lease
+// sizes of one item, forced lease expiry, abrupt disconnects, and
+// full-duplex socket traffic. The goldens cannot see a data race that
+// happens to produce the right bytes today; these schedules exist to
+// give TSan something to bite.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "api/scenario.hpp"
+#include "api/sweep.hpp"
+#include "dist/codec.hpp"
+#include "dist/shard.hpp"
+#include "net/message.hpp"
+#include "net/socket.hpp"
+#include "svc/coordinator.hpp"
+#include "svc/worker.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bsched {
+namespace {
+
+// Sanitizer builds run 5-15x slower; widen timing margins and shrink
+// iteration counts without changing any asserted value.
+#ifdef BSCHED_SANITIZED
+constexpr int kTimeScale = 4;
+constexpr std::size_t kLoadScale = 4;
+#else
+constexpr int kTimeScale = 1;
+constexpr std::size_t kLoadScale = 1;
+#endif
+
+constexpr int kIoTimeoutMs = 20000 * kTimeScale;
+
+// --- StressSweep: run_sweep worker pool over batched SoA lanes ----------
+
+/// A grid whose discrete cells all share (batteries, steps, sim), so
+/// run_sweep batches them onto shared kibam::soa_bank lanes — the code
+/// path where threads step adjacent lanes of one state block. One cell
+/// always fails, so the failure counter crosses the pool too.
+api::sweep soa_grid(std::size_t replications) {
+  api::sweep sw;
+  for (const char* load : {"random:count=16,p=0.35,seed=11",
+                           "markov:count=16,p=0.6,seed=7"}) {
+    for (const char* policy : {"round_robin", "best_of_n", "random:seed=5"}) {
+      sw.cells.push_back(api::scenario{
+          .label = {},
+          .batteries = api::bank(3, kibam::battery_b1()),
+          .load = api::load_spec::parse(load),
+          .policy = policy,
+          .model = api::fidelity::discrete,
+          .steps = {},
+          .sim = {}});
+    }
+  }
+  sw.cells.push_back(api::scenario{
+      .label = {},
+      .batteries = api::bank(2, kibam::battery_b1()),
+      .load = api::load_spec::parse("random:count=16,p=0.35,seed=11"),
+      .policy = "no_such_policy",
+      .model = api::fidelity::discrete,
+      .steps = {},
+      .sim = {}});
+  sw.replications = replications;
+  sw.seed = 2009;
+  return sw;
+}
+
+TEST(StressSweep, OversubscribedPoolMatchesSingleThreadExactly) {
+  const api::sweep sw = soa_grid(24 / kLoadScale * kLoadScale);
+  const api::engine eng;
+
+  api::summarize ref{sw};
+  const api::sweep_stats ref_stats = eng.run_sweep(sw, ref, 1);
+
+  // Thread counts far above the core count force preemption inside the
+  // batch kernels and the ordered-flush mutex; the documented contract
+  // is byte-identical aggregates for ANY thread count, so the comparison
+  // is operator== on every summary field, not a tolerance.
+  for (const std::size_t threads : {2u, 5u, 16u}) {
+    for (int round = 0; round < (threads == 16 ? 3 : 1); ++round) {
+      api::summarize sink{sw};
+      const api::sweep_stats stats = eng.run_sweep(sw, sink, threads);
+      EXPECT_EQ(stats, ref_stats) << threads << " threads, round " << round;
+      ASSERT_EQ(sink.cells().size(), ref.cells().size());
+      for (std::size_t c = 0; c < ref.cells().size(); ++c) {
+        EXPECT_EQ(sink.cells()[c], ref.cells()[c])
+            << threads << " threads, round " << round << ", cell " << c;
+      }
+    }
+  }
+}
+
+TEST(StressSweep, DeliveryStaysInGridOrderUnderOversubscription) {
+  const api::sweep sw = soa_grid(12);
+  const std::size_t total = sw.cells.size() * sw.replications;
+  const api::engine eng;
+
+  // The sink contract: every item exactly once, strictly in grid order,
+  // calls serialized. A racing flush would surface here as a duplicate,
+  // a gap, or (under TSan) a lock violation.
+  std::atomic<std::size_t> concurrent{0};
+  std::vector<std::size_t> seen;
+  seen.reserve(total);
+  api::callback_sink sink{[&](const api::sweep_result& r) {
+    EXPECT_EQ(concurrent.fetch_add(1), 0u) << "sink calls not serialized";
+    seen.push_back(r.cell * sw.replications + r.replication);
+    concurrent.fetch_sub(1);
+  }};
+  eng.run_sweep(sw, sink, 16);
+
+  ASSERT_EQ(seen.size(), total);
+  for (std::size_t i = 0; i < total; ++i) EXPECT_EQ(seen[i], i);
+}
+
+// --- StressSvc: coordinator + in-process fleet under forced failures ----
+
+/// Exact-or-ulp equivalence against the single-process reference — the
+/// same contract tests/test_svc.cpp asserts, compressed.
+void expect_equivalent(const std::vector<api::cell_summary>& merged,
+                       const std::vector<api::cell_summary>& ref) {
+  ASSERT_EQ(merged.size(), ref.size());
+  const auto tol = [](double x) { return 1e-9 * std::max(1.0, std::fabs(x)); };
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    const api::cell_summary& m = merged[i];
+    const api::cell_summary& r = ref[i];
+    EXPECT_EQ(m.n, r.n) << r.label;
+    EXPECT_EQ(m.failures, r.failures) << r.label;
+    EXPECT_EQ(m.min_min, r.min_min) << r.label;
+    EXPECT_EQ(m.max_min, r.max_min) << r.label;
+    EXPECT_NEAR(m.mean_min, r.mean_min, tol(r.mean_min)) << r.label;
+    EXPECT_NEAR(m.stddev_min, r.stddev_min, tol(r.stddev_min)) << r.label;
+    EXPECT_EQ(m.p50_min, r.p50_min) << r.label;
+  }
+}
+
+/// A scripted worker speaking raw frames — the misbehaving quarter of the
+/// fleet (goes silent to force expiry, or vanishes to force a re-queue).
+struct fake_worker {
+  net::connection conn;
+  std::uint64_t session = 0;
+
+  explicit fake_worker(std::uint16_t port) {
+    conn = net::connection::dial("127.0.0.1", port, kIoTimeoutMs);
+    net::message hello = net::make("hello");
+    hello.fields["proto"] = std::to_string(net::protocol_version);
+    hello.fields["name"] = "fake";
+    conn.send_frame(net::encode(hello), kIoTimeoutMs);
+    const net::message sweep_msg = recv();
+    EXPECT_EQ(sweep_msg.type, "sweep");
+    session = sweep_msg.u64("session");
+  }
+
+  void send(net::message m) {
+    m.fields["session"] = std::to_string(session);
+    conn.send_frame(net::encode(m), kIoTimeoutMs);
+  }
+
+  [[nodiscard]] net::message recv() {
+    auto frame = conn.recv_frame(kIoTimeoutMs);
+    if (!frame.has_value()) throw error("fake worker: recv timed out");
+    return net::decode(*frame);
+  }
+
+  [[nodiscard]] net::message take_lease() {
+    send(net::make("ready"));
+    const net::message lease = recv();
+    EXPECT_EQ(lease.type, "lease");
+    return lease;
+  }
+};
+
+TEST(StressSvc, FleetSurvivesSilenceDisconnectsAndSteals) {
+  api::sweep sw;
+  for (const char* load : {"random:count=12,p=0.4,seed=1",
+                           "markov:count=12,p=0.7,seed=2"}) {
+    for (const char* policy : {"round_robin", "best_of_n"}) {
+      sw.cells.push_back(api::scenario{
+          .label = {},
+          .batteries = api::bank(2, kibam::battery_b1()),
+          .load = api::load_spec::parse(load),
+          .policy = policy,
+          .model = api::fidelity::discrete,
+          .steps = {},
+          .sim = {}});
+    }
+  }
+  sw.replications = 8;
+  sw.seed = 2009;
+
+  const api::engine eng;
+  api::summarize ref_sink{sw};
+  eng.run_sweep(sw, ref_sink, 2);
+
+  // Tiny leases and one-item chunks maximize protocol traffic; the short
+  // lease timeout guarantees the silent fake's lease expires mid-run.
+  svc::coordinator_options opts;
+  opts.lease_items = 2;
+  opts.chunk_items = 1;
+  opts.lease_timeout_s = 0.5 * kTimeScale;
+  opts.deadline_s = 240;
+  svc::coordinator coord{sw, opts};
+  auto served = std::async(std::launch::async, [&coord] { return coord.run(); });
+
+  // Misbehaving quarter first, so both holds are in flight while the
+  // real fleet churns: one fake holds a lease in silence until it has
+  // expired (its late result must be rejected), another takes a lease
+  // and vanishes (abrupt close -> immediate re-queue).
+  fake_worker silent{coord.port()};
+  const net::message held = silent.take_lease();
+  {
+    fake_worker vanishing{coord.port()};
+    (void)vanishing.take_lease();
+    vanishing.conn.close();
+  }
+
+  // Outlive the held lease, then ship its result anyway: the epoch is
+  // retired, so the coordinator must reject it instead of double-folding.
+  // This happens before the real fleet joins — with workers racing, the
+  // campaign could finish and shut the fake down before the ack arrives.
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int>(1500 * kTimeScale)));
+  net::message late = net::make("result");
+  late.fields["lease"] = held.str("lease");
+  late.fields["epoch"] = held.str("epoch");
+  late.body = "stale payload, never decoded";
+  silent.send(std::move(late));
+  const net::message ack = silent.recv();
+  ASSERT_EQ(ack.type, "ack");
+  EXPECT_EQ(ack.u64("ok"), 0u);
+  silent.conn.close();
+
+  const auto join = [&](const std::string& name) {
+    return std::async(std::launch::async, [&eng, port = coord.port(), name] {
+      svc::worker_options wopts;
+      wopts.port = port;
+      wopts.name = name;
+      wopts.n_threads = 2;  // worker-internal pool on top of the fleet
+      wopts.io_timeout_ms = kIoTimeoutMs;
+      return svc::run_worker(eng, wopts);
+    });
+  };
+  auto w0 = join("w0");
+  auto w1 = join("w1");
+  auto w2 = join("w2");
+
+  const dist::shard_aggregate merged = served.get();
+  (void)w0.get();
+  (void)w1.get();
+  (void)w2.get();
+
+  expect_equivalent(dist::summaries(merged), ref_sink.cells());
+  const svc::coordinator_counters& c = coord.counters();
+  EXPECT_GE(c.expired, 1u);
+  EXPECT_GE(c.requeued_disconnect, 1u);
+  EXPECT_GE(c.results_rejected, 1u);
+  EXPECT_GE(c.workers_seen, 5u);
+}
+
+// --- StressNet: full-duplex framed traffic under concurrency ------------
+
+/// Deterministic frame stream: sizes span empty frames, the 4-byte
+/// header boundary, typical messages and multi-segment payloads, so the
+/// reassembly buffer sees every fragmentation shape loopback can produce.
+std::string frame_payload(rng& gen) {
+  static constexpr std::size_t sizes[] = {0, 1, 3, 4, 5, 64, 1000, 65536,
+                                          1u << 20};
+  const std::size_t n = sizes[gen.below(std::size(sizes))];
+  std::string out(n, '\0');
+  for (char& ch : out) ch = static_cast<char>(gen() & 0xff);
+  return out;
+}
+
+TEST(StressNet, FullDuplexFragmentedFramesArriveIntactAndInOrder) {
+  const std::size_t frames = 200 / kLoadScale;
+  net::listener lst{0};
+  net::connection client;
+  auto dialed = std::async(std::launch::async, [port = lst.port()] {
+    return net::connection::dial("127.0.0.1", port, kIoTimeoutMs);
+  });
+  net::connection server = lst.accept();
+  client = dialed.get();
+
+  // One sender and one receiver thread per direction, all four live at
+  // once: the send path (fd only) and the recv path (fd + reassembly
+  // buffer) of one connection run concurrently, which is exactly the
+  // sharing pattern the coordinator relies on being race-free.
+  const auto pump_out = [frames](net::connection& conn, std::uint64_t seed) {
+    rng gen{seed};
+    for (std::size_t i = 0; i < frames; ++i) {
+      conn.send_frame(frame_payload(gen), kIoTimeoutMs);
+    }
+  };
+  const auto pump_in = [frames](net::connection& conn, std::uint64_t seed) {
+    rng gen{seed};
+    for (std::size_t i = 0; i < frames; ++i) {
+      const auto got = conn.recv_frame(kIoTimeoutMs);
+      ASSERT_TRUE(got.has_value()) << "frame " << i << " timed out";
+      const std::string want = frame_payload(gen);
+      ASSERT_EQ(got->size(), want.size()) << "frame " << i;
+      ASSERT_EQ(*got, want) << "frame " << i;
+    }
+  };
+
+  std::thread c2s_tx{[&] { pump_out(client, 41); }};
+  std::thread c2s_rx{[&] { pump_in(server, 41); }};
+  std::thread s2c_tx{[&] { pump_out(server, 97); }};
+  std::thread s2c_rx{[&] { pump_in(client, 97); }};
+  c2s_tx.join();
+  c2s_rx.join();
+  s2c_tx.join();
+  s2c_rx.join();
+
+  // Both directions drained completely: an immediate poll sees nothing.
+  EXPECT_FALSE(server.recv_frame(0).has_value());
+  EXPECT_FALSE(client.recv_frame(0).has_value());
+}
+
+TEST(StressNet, ConcurrentMessageEncodeDecodeIsShareable) {
+  // net::encode/decode are pure; hammering one shared message value from
+  // many threads must be race-free (the coordinator formats acks and
+  // trims for several peers off shared state).
+  net::message shared = net::make("lease");
+  shared.fields["lease"] = "7";
+  shared.fields["epoch"] = "3";
+  shared.fields["first"] = "0";
+  shared.fields["last"] = "12345";
+  shared.body = std::string(4096, 'b');
+  const std::string wire = net::encode(shared);
+
+  std::vector<std::thread> pool;
+  std::atomic<std::size_t> decoded{0};
+  pool.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < 400 / static_cast<int>(kLoadScale); ++i) {
+        const net::message m = net::decode(wire);
+        if (m.u64("last") == 12345 && net::encode(m) == wire) {
+          decoded.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(decoded.load(), 8u * (400 / kLoadScale));
+}
+
+}  // namespace
+}  // namespace bsched

@@ -403,6 +403,67 @@ TEST(SvcNet, MessageRoundTripAndVersionGate) {
   EXPECT_THROW((void)net::encode(bad), error);
 }
 
+TEST(SvcNet, DecodeRejectsHostileInputWithTypedErrors) {
+  // Whatever bytes a hostile peer puts in a frame, decode must either
+  // parse them or throw bsched::error — never a different exception
+  // type, never a read past the token, never an error message that
+  // amplifies the attacker's payload.
+
+  // Truncated headers, at every interesting prefix length.
+  for (const std::string_view frame :
+       {std::string_view{""}, std::string_view{"b"},
+        std::string_view{"bsched-msg"}, std::string_view{"bsched-msg v1"},
+        std::string_view{"bsched-msg v1\n"},
+        std::string_view{"bsched-msg v1 \n"}}) {
+    EXPECT_THROW((void)net::decode(frame), error) << '"' << frame << '"';
+  }
+
+  // Oversized header tokens: a single k=v pair approaching the frame
+  // cap must be refused at the header-size limit, not turned into a
+  // 100 kB map key (or echoed back in the error text).
+  const std::string huge_header =
+      "bsched-msg v1 t " + std::string(100 * 1024, 'k') + "=v\n";
+  try {
+    (void)net::decode(huge_header);
+    FAIL() << "oversized header accepted";
+  } catch (const error& e) {
+    EXPECT_LT(std::string{e.what()}.size(), 512u);
+  }
+
+  // Embedded NULs and other control bytes never appear in a valid
+  // header; all three positions (type, key, value) must be rejected.
+  using namespace std::literals;
+  EXPECT_THROW((void)net::decode("bsched-msg v1 ty\0pe k=v\n"sv), error);
+  EXPECT_THROW((void)net::decode("bsched-msg v1 type k\0ey=v\n"sv), error);
+  EXPECT_THROW((void)net::decode("bsched-msg v1 type k=v\0\n"sv), error);
+  EXPECT_THROW((void)net::decode("bsched-msg v1 ty\rpe\n"), error);
+  EXPECT_THROW((void)net::decode("bsched-msg v1 ty\tpe\n"), error);
+  // ... and encode refuses to produce them in the first place.
+  net::message ctl = net::make("type");
+  ctl.fields["k"] = "a\0b"s;
+  EXPECT_THROW((void)net::encode(ctl), error);
+
+  // Non-UTF8 bytes >= 0x80 are opaque data, not hostility: they
+  // round-trip (worker names may be UTF-8, which decodes bytewise).
+  net::message m8 = net::make("t\x9cype");
+  m8.fields["k\x80y"] = "v\xff";
+  const net::message back = net::decode(net::encode(m8));
+  EXPECT_EQ(back.type, m8.type);
+  EXPECT_EQ(back.str("k\x80y"), "v\xff");
+
+  // NUL bytes in the *body* stay legal — shard payloads are opaque.
+  net::message with_body = net::make("result");
+  with_body.body = "a\0b"s;
+  EXPECT_EQ(net::decode(net::encode(with_body)).body, "a\0b"s);
+
+  // Numeric fields overflowing u64 throw bsched::error (std::from_chars
+  // range handling), not std::out_of_range.
+  const net::message big =
+      net::decode("bsched-msg v1 t n=99999999999999999999999999\n");
+  EXPECT_THROW((void)big.u64("n"), error);
+  EXPECT_THROW((void)net::decode("bsched-msg v1 t =v\n"), error);
+}
+
 TEST(SvcNet, LoopbackFramesSurviveFragmentationAndTimeouts) {
   net::listener lst{0};
   ASSERT_GT(lst.port(), 0);
