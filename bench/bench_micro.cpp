@@ -190,6 +190,72 @@ void bm_optimal_search(benchmark::State& state) {
 }
 BENCHMARK(bm_optimal_search);
 
+void bm_optimal_search_warmstart(benchmark::State& state) {
+  // The iterative-deepening warm start: lookahead rollouts at horizons
+  // 1, 2, 4, 8 seed the incumbent before the exhaustive pass. Measures
+  // what the rollout ladder costs on top of bm_optimal_search's shallow
+  // default when the trajectory bound already prunes tightly.
+  const kibam::discretization d{kibam::battery_b1()};
+  const load::trace t = load::paper_trace(load::test_load::cl_alt);
+  opt::search_options opts;
+  opts.warm_start = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        opt::optimal_schedule(d, 2, t, opts).lifetime_min);
+  }
+}
+BENCHMARK(bm_optimal_search_warmstart);
+
+void bm_optimal_search_parallel(benchmark::State& state) {
+  // Subtree-parallel search on the work-stealing pool over the sharded
+  // memo, on the biggest short-load tree (ILs 250 s). Results are
+  // bit-identical across thread counts; this measures the coordination
+  // tax (and, on multi-core hosts, the speedup) against threads:1.
+  const kibam::discretization d{kibam::battery_b1()};
+  const load::trace t = load::paper_trace(load::test_load::ils_250);
+  opt::search_options opts;
+  opts.threads = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        opt::optimal_schedule(d, 2, t, opts).lifetime_min);
+  }
+}
+// Process CPU time, not the calling thread's: the caller mostly blocks in
+// join, so thread CPU would undercount by the worker count. Real time is
+// reported alongside for the wall-clock view.
+BENCHMARK(bm_optimal_search_parallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+void bm_soa_step_lane_wide(benchmark::State& state) {
+  // The vectorized recovery sweep: one per-tick step of a 16-battery
+  // heterogeneous lane. step_lane's simd loop is the only per-battery
+  // O(width) cost on the per-tick reference path, so this tracks the
+  // recovery sweep's throughput as lanes get wide.
+  std::vector<kibam::battery_parameters> mix;
+  for (int i = 0; i < 16; ++i) {
+    mix.push_back(i % 3 == 0 ? kibam::battery_b2() : kibam::battery_b1());
+  }
+  const kibam::bank bk{mix};
+  kibam::soa_bank soa{bk, 1};
+  const load::draw_rate rate{1, 4};
+  std::size_t active = 0;
+  for (auto _ : state) {
+    if (soa.step_lane(0, active, rate) == kibam::step_event::died) {
+      active = (active + 1) % soa.batteries();
+      if (soa.lane_all_empty(0)) {
+        soa.reset_lane(0);
+        active = 0;
+      }
+    }
+    benchmark::DoNotOptimize(soa.empty(0, active));
+  }
+}
+BENCHMARK(bm_soa_step_lane_wide);
+
 void bm_dbm_canonicalize(benchmark::State& state) {
   const auto clocks = static_cast<std::size_t>(state.range(0));
   pta::dbm z = pta::dbm::universal(clocks);

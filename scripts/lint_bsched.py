@@ -40,6 +40,17 @@ Rules (see README "Correctness tooling"):
                     else may embed them, so a version bump cannot miss a
                     stray literal. tests/ may forge foreign versions in
                     negative tests.
+
+  thread-discipline library code must not spawn raw threads (std::thread/
+                    std::jthread construction, std::async) outside the
+                    two budgeted layers: src/util (the work-stealing
+                    task_pool and the process thread_budget) and
+                    src/api/engine* (the sweep worker pool, which leases
+                    its width from that budget). A policy or kernel that
+                    spawned its own threads would bypass the
+                    oversubscription accounting and the determinism
+                    contract. `std::thread::hardware_concurrency()` and
+                    other static members stay fine anywhere.
 """
 
 import argparse
@@ -64,6 +75,15 @@ VERSION_OWNERS = {
     "bsched-sweep": os.path.join("src", "dist", "codec.cpp"),
     "bsched-msg": os.path.join("src", "net", "message.cpp"),
 }
+
+# std::thread/std::jthread not followed by '::' (static members like
+# hardware_concurrency are not a spawn), plus std::async.
+THREAD_PATTERN = re.compile(r"std::j?thread\b(?!\s*::)|std::async\b")
+
+THREAD_ALLOW_PREFIXES = (
+    os.path.join("src", "util") + os.sep,
+    os.path.join("src", "api", "engine"),
+)
 
 
 
@@ -252,8 +272,23 @@ def check_version_literals(rel, code):
     return findings
 
 
+def check_threads(rel, code):
+    if not rel.startswith("src" + os.sep):
+        return []
+    if rel.startswith(THREAD_ALLOW_PREFIXES):
+        return []
+    findings = []
+    for m in THREAD_PATTERN.finditer(strip_strings(code)):
+        findings.append((line_of(code, m.start()), "thread-discipline",
+                         f"'{m.group().strip()}' spawns outside the budgeted "
+                         f"pools — go through util::task_pool / "
+                         f"util::thread_budget (src/util) or the engine "
+                         f"sweep pool (src/api/engine*)"))
+    return findings
+
+
 CODE_CHECKS = (check_no_io, check_require_prefix, check_rng,
-               check_version_literals)
+               check_version_literals, check_threads)
 
 
 def lint_file(rel, text):
@@ -381,6 +416,29 @@ def self_test():
         ("version string mentioned in a comment is fine",
          "src/net/message.hpp",
          '#pragma once\n// the N of "bsched-msg vN"\n', []),
+        ("raw std::thread in library code",
+         "src/opt/search.cpp", "void f() { std::thread t{[] {}}; }",
+         ["thread-discipline"]),
+        ("std::jthread in library code",
+         "src/sched/simulator.cpp", "void f() { std::jthread t{[] {}}; }",
+         ["thread-discipline"]),
+        ("std::async in library code",
+         "src/svc/coordinator.cpp",
+         "auto f() { return std::async([] {}); }",
+         ["thread-discipline"]),
+        ("task_pool may spawn",
+         "src/util/task_pool.cpp",
+         "void f() { std::vector<std::thread> pool; }", []),
+        ("engine sweep pool may spawn",
+         "src/api/engine.cpp",
+         "void f() { std::vector<std::thread> pool; }", []),
+        ("hardware_concurrency is not a spawn",
+         "src/opt/search.cpp",
+         "auto n = std::thread::hardware_concurrency();", []),
+        ("std::thread in a comment is fine",
+         "src/opt/search.cpp", "// never hold a raw std::thread here\n", []),
+        ("tests may spawn threads",
+         "tests/test_stress.cpp", "std::thread t{[] {}};", []),
     ]
 
     failures = 0

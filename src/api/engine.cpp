@@ -11,6 +11,7 @@
 #include "kibam/bank.hpp"
 #include "kibam/soa.hpp"
 #include "util/error.hpp"
+#include "util/task_pool.hpp"
 
 namespace bsched::api {
 
@@ -267,6 +268,12 @@ sweep_stats engine::run_sweep(const sweep& sw, result_sink& sink,
   if (n_threads == 1) {
     worker();
   } else {
+    // Lease the pool's width from the process thread budget so a search
+    // policy running inside a worker (opt:threads=0) sizes its own pool
+    // against what is left of the hardware concurrency — sweep-level and
+    // search-level parallelism compose without oversubscribing. Explicit
+    // inner thread counts are unaffected (the lease only informs grant()).
+    const util::thread_budget::lease lease{n_threads};
     std::vector<std::thread> pool;
     pool.reserve(n_threads);
     for (std::size_t t = 0; t < n_threads; ++t) pool.emplace_back(worker);

@@ -22,6 +22,10 @@ struct lane_ref {
 soa_bank::soa_bank(const bank& bk, std::size_t lanes)
     : bank_(&bk), batteries_(bk.size()), lanes_(lanes) {
   require(lanes_ >= 1, "soa_bank: need at least one lane");
+  tables_.reserve(batteries_);
+  for (std::size_t b = 0; b < batteries_; ++b) {
+    tables_.push_back(bk.disc(b).recovery_table());
+  }
   const std::size_t total = lanes_ * batteries_;
   n_.resize(total);
   m_.resize(total);
@@ -51,29 +55,62 @@ bool soa_bank::lane_all_empty(std::size_t lane) const {
 
 std::vector<discrete_state> soa_bank::lane_states(std::size_t lane) const {
   std::vector<discrete_state> out;
+  copy_lane_states(lane, out);
+  return out;
+}
+
+void soa_bank::copy_lane_states(std::size_t lane,
+                                std::vector<discrete_state>& out) const {
+  out.clear();
   out.reserve(batteries_);
   for (std::size_t b = 0; b < batteries_; ++b) {
     const std::size_t i = at(lane, b);
     out.push_back({n_[i], m_[i], rec_[i], dis_[i], empty_[i] != 0});
   }
-  return out;
 }
 
 step_event soa_bank::step_lane(std::size_t lane, std::size_t active,
                                const load::draw_rate& rate) {
-  static constexpr load::draw_rate k_rest{0, 0};
+  // Recovery for the whole lane first — recovery precedes discharge
+  // inside step(), and the per-battery processes are independent, so
+  // sweeping all recoveries and then discharging the active battery is
+  // bit-identical to per-battery step() calls. The sweep is branchless
+  // over the parallel arrays (the table index is clamped to a valid slot
+  // whose value is masked out when m < 2), so the compiler can vectorize
+  // it across batteries.
+  const std::size_t base = at(lane, 0);
+  std::int64_t* __restrict mv = m_.data() + base;
+  std::int64_t* __restrict rv = rec_.data() + base;
+  const std::int64_t* const* __restrict tables = tables_.data();
+  const std::size_t nb = batteries_;
+#pragma omp simd
+  for (std::size_t b = 0; b < nb; ++b) {
+    const std::int64_t m = mv[b];
+    const std::int64_t armed = m >= 2 ? 1 : 0;
+    const std::int64_t rs = tables[b][armed ? m : 2];
+    const std::int64_t rec1 = armed ? rv[b] + 1 : 0;
+    const std::int64_t fired = armed & static_cast<std::int64_t>(rec1 >= rs);
+    mv[b] = m - fired;
+    rv[b] = fired != 0 ? 0 : rec1;
+  }
+
+  // Discharge process of the active battery (total-charge automaton).
   step_event ev = step_event::none;
-  for (std::size_t b = 0; b < batteries_; ++b) {
-    const std::size_t i = at(lane, b);
-    discrete_state s{n_[i], m_[i], rec_[i], dis_[i], empty_[i] != 0};
-    const step_event e_b =
-        step(bank_->disc(b), s, b == active ? rate : k_rest);
-    n_[i] = s.n;
-    m_[i] = s.m;
-    rec_[i] = s.recovery_elapsed;
-    dis_[i] = s.discharge_elapsed;
-    empty_[i] = s.empty ? 1 : 0;
-    if (b == active) ev = e_b;
+  if (active < nb && rate.steps > 0) {
+    const std::size_t i = at(lane, active);
+    if (empty_[i] == 0 && ++dis_[i] >= rate.steps) {
+      n_[i] -= rate.units;
+      m_[i] += rate.units;
+      dis_[i] = 0;
+      BSCHED_ASSERT(n_[i] >= 0);
+      const discretization& d = bank_->disc(active);
+      if (d.is_empty(n_[i], m_[i])) {
+        empty_[i] = 1;
+        ev = step_event::died;
+      } else {
+        ev = step_event::drew;
+      }
+    }
   }
   return ev;
 }

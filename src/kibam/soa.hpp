@@ -70,6 +70,11 @@ class soa_bank {
   [[nodiscard]] std::vector<discrete_state> lane_states(
       std::size_t lane) const;
 
+  /// lane_states into a caller-owned vector, reusing its capacity: the
+  /// allocation-free snapshot path for pooled rollout scratch states.
+  void copy_lane_states(std::size_t lane,
+                        std::vector<discrete_state>& out) const;
+
   /// One time step of every battery in `lane`; bit-identical to
   /// bank::step_all on lane_states(lane). The per-tick reference path
   /// (trace recording samples every step through here).
@@ -91,6 +96,10 @@ class soa_bank {
   const bank* bank_;
   std::size_t batteries_;
   std::size_t lanes_;
+  /// Per-battery recovery-table base pointers (into the bank's shared
+  /// discretizations), cached so step_lane's vectorized recovery sweep
+  /// needs no virtual-free but call-laden accessor in its inner loop.
+  std::vector<const std::int64_t*> tables_;
   // Parallel per-state counters, lane-major: index = lane * batteries + b.
   std::vector<std::int64_t> n_;
   std::vector<std::int64_t> m_;

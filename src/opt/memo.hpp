@@ -1,0 +1,164 @@
+// Sharded transposition table for the exact search.
+//
+// The branch-and-bound of opt/search.cpp memoises node values keyed on
+// (canonical epoch, type-grouped sorted battery states). Entries carry an
+// exactness flag: an `exact` value is the true node optimum; an inexact
+// value is an admissible *upper bound* computed under some pruning floor
+// (see search.cpp). Upper bounds are globally valid — they may be reused
+// at any floor at or above them — so concurrent workers computing the
+// same key under different floors can share one table safely: exact
+// entries win over bounds, and a tighter bound may replace a looser one.
+//
+// Keys hash-partition into shards, each an independently locked map with
+// its own FIFO eviction queue; `max_entries` splits evenly across shards,
+// preserving the search_options::max_memo_entries cap semantics (total
+// entries never exceed the cap, eviction stays deterministic FIFO within
+// a shard). One shard degenerates to the historic single-map behaviour —
+// the single-threaded search uses exactly that, so its effort counters
+// stay bit-identical run to run.
+//
+// A memo_table outlives any one search: `optimal_schedule` calls with the
+// same bank, load and direction may share one (search_options::
+// shared_memo), which is how batched cells differing only in policy knobs
+// and the oversubscribed TSan stress schedules reuse each other's work.
+// attach() fingerprints the (bank, load, direction) and rejects foreign
+// reuse, since keys do not encode the model.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace bsched::opt {
+
+class memo_table {
+ public:
+  struct entry {
+    std::int64_t value = 0;
+    bool exact = false;
+  };
+
+  /// `max_entries` caps the total entry count (0 = unbounded), split
+  /// evenly across `shards` FIFO queues. Shard counts are rounded up to
+  /// a power of two so key hashes partition by mask.
+  explicit memo_table(std::uint64_t max_entries = 0, std::size_t shards = 1) {
+    std::size_t n = 1;
+    while (n < shards) n *= 2;
+    shards_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      shards_.push_back(std::make_unique<shard>());
+    }
+    cap_per_shard_ = max_entries == 0 ? 0 : (max_entries + n - 1) / n;
+    // Splitting can only lower the worst-case total below the cap, never
+    // raise it above; a cap below the shard count still keeps >= 1 each.
+    if (max_entries != 0 && cap_per_shard_ == 0) cap_per_shard_ = 1;
+  }
+
+  /// Binds this table to one (bank, load, direction) identity; throws on a
+  /// mismatch with a previous attach. Cheap fingerprint, called per search.
+  void attach(std::uint64_t fingerprint) {
+    const std::scoped_lock lock(meta_mutex_);
+    if (fingerprint_ == 0) fingerprint_ = fingerprint;
+    require(fingerprint_ == fingerprint,
+            "memo_table: shared across searches with different bank, load "
+            "or direction");
+  }
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+  /// Looks `key` up. Returns true and fills `out` when a usable entry
+  /// exists: any exact entry, or an inexact upper bound not above `floor`
+  /// (values the caller will discard against its incumbent anyway).
+  bool lookup(const std::vector<std::uint64_t>& key, std::uint64_t hash,
+              std::int64_t floor, entry& out) {
+    shard& s = shard_of(hash);
+    const std::scoped_lock lock(s.mutex);
+    const auto it = s.map.find(key);
+    if (it == s.map.end()) return false;
+    if (!it->second.exact && it->second.value > floor) return false;
+    out = it->second;
+    return true;
+  }
+
+  /// Inserts or improves the entry for `key`: exact beats inexact, and a
+  /// smaller upper bound beats a larger one. FIFO-evicts the shard's
+  /// oldest entry beyond the cap; `evicted` counts evictions performed.
+  void store(std::vector<std::uint64_t> key, std::uint64_t hash, entry e,
+             std::uint64_t& evicted) {
+    shard& s = shard_of(hash);
+    const std::scoped_lock lock(s.mutex);
+    const auto [it, inserted] = s.map.emplace(std::move(key), e);
+    if (!inserted) {
+      entry& held = it->second;
+      const bool better = (e.exact && !held.exact) ||
+                          (e.exact == held.exact && e.value < held.value);
+      if (better) held = e;
+      return;  // re-walks and racing twins revisit live entries
+    }
+    if (cap_per_shard_ == 0) return;  // unbounded: no bookkeeping
+    s.fifo.push_back(&it->first);
+    if (s.map.size() > cap_per_shard_) {
+      s.map.erase(*s.fifo.front());
+      s.fifo.pop_front();
+      ++evicted;
+    }
+  }
+
+  /// Total live entries across shards (approximate under concurrency).
+  [[nodiscard]] std::uint64_t size() const {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) {
+      const std::scoped_lock lock(s->mutex);
+      total += s->map.size();
+    }
+    return total;
+  }
+
+ private:
+  struct vec_hash {
+    std::size_t operator()(const std::vector<std::uint64_t>& v)
+        const noexcept {
+      // FNV-1a over the words.
+      std::uint64_t h = 1469598103934665603ULL;
+      for (const std::uint64_t w : v) {
+        h ^= w;
+        h *= 1099511628211ULL;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  struct shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::vector<std::uint64_t>, entry, vec_hash> map;
+    /// Keys in insertion order for FIFO eviction (key storage is stable
+    /// under rehashing, so the pointers hold).
+    std::deque<const std::vector<std::uint64_t>*> fifo;
+  };
+
+  shard& shard_of(std::uint64_t hash) {
+    // The map buckets on the low hash bits; shard on the high ones.
+    return *shards_[(hash >> 48) & (shards_.size() - 1)];
+  }
+
+  std::vector<std::unique_ptr<shard>> shards_;
+  std::uint64_t cap_per_shard_ = 0;
+  std::mutex meta_mutex_;
+  std::uint64_t fingerprint_ = 0;  ///< 0 = not yet attached.
+
+ public:
+  /// The key hash, shared with lookup/store callers so it is computed once.
+  [[nodiscard]] static std::uint64_t hash_key(
+      const std::vector<std::uint64_t>& key) noexcept {
+    return vec_hash{}(key);
+  }
+};
+
+}  // namespace bsched::opt

@@ -1,4 +1,4 @@
-// Optimal battery scheduling by exhaustive search over the dKiBaM.
+// Optimal battery scheduling by branch-and-bound over the dKiBaM.
 //
 // The paper obtains optimal schedules with Uppaal Cora's minimum-cost
 // reachability on the TA-KiBaM. This module exploits the observation of
@@ -12,15 +12,32 @@
 // KiBaM parameters. The search is exact:
 //  * memoisation on (position in the cyclic load, battery states sorted
 //    within groups of identical battery types) merges permutations of
-//    interchangeable batteries (symmetry reduction); for a homogeneous
-//    bank this is the full sorted-state reduction;
-//  * an admissible drain bound (system death no later than the time at
-//    which the load has drawn every charge unit remaining across the
-//    bank) prunes children that provably cannot beat the best sibling;
-//    pruned children are never stored, so memoised values stay exact.
+//    interchangeable batteries (symmetry reduction); entries carry an
+//    exact/upper-bound flag, so incumbent-pruned subtrees may be reused
+//    as bounds without ever corrupting an exact value (opt/memo.hpp);
+//  * a trajectory-aware admissible bound (trajectory_bound_steps): per
+//    battery, the supply of charge units by wall-clock time T is capped
+//    by the initial available charge plus what the recovery process can
+//    free — each recovery tick returns (1000 - c) permille and ticks are
+//    spaced by the recovery table at the battery's maximum *alive*
+//    height, which shrinks with the remaining charge. The system dies no
+//    later than the first draw whose cumulative demand exceeds the
+//    summed per-battery supply. This bound tracks the recovery-rate
+//    bottleneck that actually kills the Table 5 banks, so — unlike the
+//    flat drain cap it succeeds — it prunes there;
+//  * a warm start seeds the incumbent from lookahead rollouts at
+//    geometrically deepening horizons, so pruning has a tight reference
+//    from node one; pruned children return upper bounds that never beat
+//    the incumbent, so the final optimum and its schedule stay exact;
+//  * with `threads > 1`, the top of the tree is expanded into subtree
+//    tasks evaluated on a work-stealing pool (util/task_pool.hpp) over a
+//    sharded concurrent memo. Every task's pruning floor is fixed before
+//    the fan-out (never a racing sibling's incumbent), so lifetime and
+//    decisions are bit-identical for any thread count.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "kibam/bank.hpp"
@@ -30,21 +47,50 @@
 
 namespace bsched::opt {
 
+class memo_table;
+
 struct search_options {
-  bool prune = true;            ///< Enable the admissible drain bound.
+  bool prune = true;            ///< Enable the admissible-bound pruning.
   std::uint64_t max_nodes = 200'000'000;  ///< Safety valve; throws beyond.
   /// Transposition-table size cap; 0 = unbounded. When the memo reaches
-  /// the cap the oldest entry is evicted (deterministic FIFO), so large
-  /// mixed banks cannot grow it without bound. Evicted subtrees may be
-  /// re-expanded (more nodes, identical exact results); evictions are
-  /// counted in search_stats::memo_evictions.
+  /// the cap the oldest entry is evicted (deterministic FIFO, per shard
+  /// when sharded), so large mixed banks cannot grow it without bound.
+  /// Evicted subtrees may be re-expanded (more nodes, identical exact
+  /// results); evictions are counted in search_stats::memo_evictions.
   std::uint64_t max_memo_entries = 0;
-  /// Tighten the drain bound on heterogeneous banks with per-battery
-  /// available-charge (c-fraction) limits — see deliverable_units.
-  /// Homogeneous banks always use the historic summed-units bound, so
-  /// the published Table 5 node counts stay bit-identical.
+  /// Use the trajectory-aware bound (trajectory_bound_steps). Off falls
+  /// back to the historic flat drain cap over summed per-battery
+  /// deliverable_units — strictly weaker, kept for A/B tests.
   bool per_battery_bound = true;
+  /// Warm-start horizon: seed the incumbent from lookahead rollouts at
+  /// horizons 1, 2, 4, ... up to this many jobs before the exhaustive
+  /// pass (0 = cold start). Maximisation only; the seeded incumbent is
+  /// reported in search_stats::incumbent_from_lookahead. The default
+  /// stays shallow: on the paper loads the trajectory bound does almost
+  /// all the pruning, and each extra horizon costs a full rollout
+  /// simulation — deepen it (opt:warm_start=8) for large mixed banks
+  /// where the first incumbent is far from optimal.
+  std::uint64_t warm_start = 1;
+  /// Worker threads for subtree evaluation (1 = the historic sequential
+  /// search, bit-identical stats included). More than one enables the
+  /// work-stealing pool and the sharded memo; lifetime and decisions stay
+  /// bit-identical whatever the count (only effort counters may differ).
+  /// An explicit count is honoured exactly — oversubscription included,
+  /// the TSan stress suite depends on it — while 0 means "auto": take
+  /// whatever the process thread budget (util::thread_budget) has left,
+  /// so auto-sized searches nested under a sweep pool never oversubscribe.
+  std::uint64_t threads = 1;
+  /// Optional transposition table shared between searches over the same
+  /// bank, load and direction (make_shared_memo); batch cells differing
+  /// only in policy knobs reuse each other's subtrees. Null = private.
+  std::shared_ptr<memo_table> shared_memo;
 };
+
+/// A shareable transposition table for search_options::shared_memo,
+/// sharded for concurrent use. All searches sharing it must run the same
+/// bank, load and direction (enforced via a fingerprint check).
+[[nodiscard]] std::shared_ptr<memo_table> make_shared_memo(
+    std::uint64_t max_entries = 0, std::size_t shards = 16);
 
 /// Statistics of one search or rollout run; surfaced unchanged through
 /// api::run_result so clients never need to call into opt:: for them.
@@ -75,7 +121,8 @@ struct optimal_result {
 /// Admissible upper bound (in time steps) on the remaining system lifetime
 /// from the start of epoch `epoch_index`, given `alive_units` total charge
 /// units across non-empty batteries (unit-additive because the bank shares
-/// one grid). Exposed for property tests.
+/// one grid). The flat drain cap: death no later than the time at which
+/// the load has drawn every remaining unit. Exposed for property tests.
 [[nodiscard]] std::int64_t drain_bound_steps(const load::step_sizes& steps,
                                              const load::trace& load,
                                              std::size_t epoch_index,
@@ -87,13 +134,29 @@ struct optimal_result {
 /// holding bound charge: every unit drawn raises the height difference,
 /// and the empty criterion (1000 - c) m >= c n strands at least
 /// ceil((1000 - c + 1) / c) units at death (minus one final draw of at
-/// most `max_draw_units`), whatever the recovery schedule. Feeding the
-/// sum of these caps to drain_bound_steps instead of the plain sum of n
-/// tightens the bound; the search applies this to heterogeneous banks
-/// (see search_options::per_battery_bound). Exposed for property tests.
+/// most `max_draw_units`), whatever the recovery schedule. One of the two
+/// supply caps inside trajectory_bound_steps. Exposed for property tests.
 [[nodiscard]] std::int64_t deliverable_units(const kibam::discretization& d,
                                              std::int64_t n,
                                              std::int64_t max_draw_units);
+
+/// The trajectory-aware admissible bound (in time steps) on the remaining
+/// system lifetime from the start of epoch `epoch_index`, for the bank in
+/// per-battery states `bats`. Integrates the recovery-table descent: a
+/// battery at (n, m) holds avail = c n - (1000 - c) m permille of
+/// available charge; every delivered unit costs 1000 permille and every
+/// recovery tick returns (1000 - c), with ticks spaced at least
+/// recovery_steps(M) where M bounds every future *alive* height (the
+/// empty criterion caps M by the remaining charge). Summing these supply
+/// curves and walking the load's cumulative demand gives the first draw
+/// the system provably cannot serve. Never exceeds the flat
+/// drain_bound_steps over deliverable_units, and never undercuts a
+/// realizable lifetime (property-tested on random heterogeneous banks).
+/// `max_draw_units` is the largest single draw in the load.
+[[nodiscard]] std::int64_t trajectory_bound_steps(
+    const kibam::bank& bank, const std::vector<kibam::discrete_state>& bats,
+    const load::trace& load, std::size_t epoch_index,
+    std::int64_t max_draw_units);
 
 /// Minimum-lifetime schedule (same search, minimising): used to verify the
 /// paper's claim that sequential discharge is the worst possible schedule.

@@ -118,10 +118,20 @@ struct decision_context {
 struct search_stats {
   std::uint64_t nodes = 0;      ///< Decision nodes expanded.
   std::uint64_t memo_hits = 0;
-  std::uint64_t pruned = 0;     ///< Children skipped by the drain bound.
+  std::uint64_t pruned = 0;     ///< Children cut (bound or bounded memo hit).
   std::uint64_t memo_entries = 0;
   std::uint64_t memo_evictions = 0;  ///< Entries evicted by the memo cap.
   std::uint64_t rollouts = 0;   ///< Candidate futures simulated (lookahead).
+  /// Children cut specifically by the trajectory-aware admissible bound
+  /// (a subset of `pruned`; the rest are bounded-memo reuses).
+  std::uint64_t pruned_by_bound = 0;
+  /// Warm-start incumbent seeded from lookahead rollouts, in time steps
+  /// (0 when the warm start is off or seeded nothing).
+  std::uint64_t incumbent_from_lookahead = 0;
+  /// Subtree tasks a parallel search worker stole from a sibling's queue.
+  std::uint64_t stolen_subtrees = 0;
+  /// Shards backing the transposition table (1 = private single-lock).
+  std::uint64_t memo_shards = 0;
 
   friend bool operator==(const search_stats&, const search_stats&) = default;
 };

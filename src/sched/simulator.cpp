@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 
+#include "kibam/scratch.hpp"
 #include "util/error.hpp"
 
 namespace bsched::sched {
@@ -236,9 +237,13 @@ class discrete_model : public model_view {
   [[nodiscard]] rollout_outcome rollout(
       std::size_t candidate, std::size_t horizon_jobs) const override {
     BSCHED_ASSERT(load_ != nullptr && remaining_ >= 0);
-    // Cheap bank snapshot; rollouts never record, so they always run on
-    // the event-horizon kernel.
-    std::vector<kibam::discrete_state> bats = soa_->lane_states(lane_);
+    // Pooled bank snapshot (a lookahead policy rolls out at every decision
+    // point — leasing from scratch_ makes the steady state allocation
+    // free); rollouts never record, so they always run on the
+    // event-horizon kernel.
+    kibam::scratch_pool::lease snapshot = scratch_.empty();
+    std::vector<kibam::discrete_state>& bats = *snapshot;
+    soa_->copy_lane_states(lane_, bats);
     std::int64_t steps = 0;
     // The remainder of the current epoch, then `horizon_jobs` more jobs
     // served greedily; idle epochs pass in between.
@@ -369,6 +374,9 @@ class discrete_model : public model_view {
   std::size_t epoch_index_ = 0;
   load::draw_rate rate_{0, 0};
   bool pending_record_ = false;
+  /// Rollout scratch states (mutable: rollout() is logically const — it
+  /// only ever steps pooled copies, never the lane itself).
+  mutable kibam::scratch_pool scratch_;
 
   void record(int active) {
     if (!opts_.record_trace || step_count_ % sample_period_ != 0) return;

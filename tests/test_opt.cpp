@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -188,12 +189,15 @@ TEST(DrainBound, IdleEpochsAddTime) {
 
 // --- Bit-exactness regression against the pre-refactor search. ---
 //
-// Golden values recorded from the identical-bank implementation (PR 1,
-// `optimal_schedule(disc, count)` with one shared discretization) before
-// the kibam::bank refactor: on every Table 5 workload the bank-based
-// search must reproduce the lifetime, the decision vector, and the node
-// count exactly — the homogeneous symmetry reduction and pruning schedule
-// may not change.
+// Lifetime and decision goldens recorded from the identical-bank
+// implementation (PR 1, `optimal_schedule(disc, count)` with one shared
+// discretization) before the kibam::bank refactor: on every Table 5
+// workload the search must reproduce the lifetime and the decision vector
+// exactly. The node counts are the effort golden of the *current*
+// trajectory-bound + warm-start search (updated deliberately with that
+// change; the pre-bound counts equalled worst_nodes on every row — e.g.
+// CL 250 s fell 759 -> 330 and ILs 250 s 20804 -> 9218). The maximising
+// counts must never exceed the unpruned minimising ones.
 struct golden_case {
   load::test_load load;
   double opt_lifetime;        // minutes
@@ -204,18 +208,18 @@ struct golden_case {
 };
 
 const golden_case k_golden[] = {
-    {load::test_load::cl_250, 12.00, "0100011101010", 759, 9.04, 759},
-    {load::test_load::cl_500, 4.54, "001101", 15, 4.08, 15},
-    {load::test_load::cl_alt, 6.46, "00101010", 40, 5.40, 40},
-    {load::test_load::ils_250, 40.76, "0000011011011010101011", 20804, 22.72,
+    {load::test_load::cl_250, 12.00, "0100011101010", 330, 9.04, 759},
+    {load::test_load::cl_500, 4.54, "001101", 13, 4.08, 15},
+    {load::test_load::cl_alt, 6.46, "00101010", 22, 5.40, 40},
+    {load::test_load::ils_250, 40.76, "0000011011011010101011", 9218, 22.72,
      20804},
-    {load::test_load::ils_500, 10.48, "0011011", 21, 8.58, 21},
-    {load::test_load::ils_alt, 16.88, "0010110101", 92, 12.36, 92},
-    {load::test_load::ils_r1, 20.48, "001010110111", 138, 12.80, 138},
-    {load::test_load::ils_r2, 14.52, "010011011", 67, 12.22, 67},
-    {load::test_load::ill_250, 78.92, "0000000100101011110101101011", 119125,
+    {load::test_load::ils_500, 10.48, "0011011", 14, 8.58, 21},
+    {load::test_load::ils_alt, 16.88, "0010110101", 46, 12.36, 92},
+    {load::test_load::ils_r1, 20.48, "001010110111", 87, 12.80, 138},
+    {load::test_load::ils_r2, 14.52, "010011011", 40, 12.22, 67},
+    {load::test_load::ill_250, 78.92, "0000000100101011110101101011", 80159,
      45.84, 119125},
-    {load::test_load::ill_500, 18.68, "00110100", 26, 12.92, 26},
+    {load::test_load::ill_500, 18.68, "00110100", 17, 12.92, 26},
 };
 
 class PreRefactorGolden : public testing::TestWithParam<golden_case> {};
@@ -228,6 +232,7 @@ TEST_P(PreRefactorGolden, HomogeneousSearchIsBitIdentical) {
   EXPECT_NEAR(best.lifetime_min, c.opt_lifetime, 1e-9);
   EXPECT_EQ(decision_digits(best.decisions), c.opt_decisions);
   EXPECT_EQ(best.stats.nodes, c.opt_nodes);
+  EXPECT_LE(best.stats.nodes, c.worst_nodes);  // the bound must prune
   const optimal_result worst = worst_schedule(d, 2, t);
   EXPECT_NEAR(worst.lifetime_min, c.worst_lifetime, 1e-9);
   EXPECT_EQ(worst.stats.nodes, c.worst_nodes);
@@ -417,17 +422,21 @@ TEST(Heterogeneous, PerBatteryBoundNeverExpandsMoreNodes) {
   }
 }
 
-TEST(Optimal, HomogeneousBanksIgnoreThePerBatteryBound) {
-  // Contract: one-type banks keep the historic summed-units bound, so
-  // the published Table 5 node counts stay pinned whatever the flag.
+TEST(Optimal, HomogeneousBanksUseTheTrajectoryBoundToo) {
+  // Contract change with the trajectory bound: it applies to every bank
+  // (the recovery-rate bottleneck it tracks is what kills the homogeneous
+  // Table 5 banks), so one-type banks now prune strictly more than the
+  // flat fallback while the result stays exact.
   const auto d = disc_b1();
   const load::trace t = load::paper_trace(load::test_load::ils_alt);
   search_options off;
   off.per_battery_bound = false;
   const optimal_result a = optimal_schedule(d, 2, t);
   const optimal_result b = optimal_schedule(d, 2, t, off);
-  EXPECT_EQ(a.stats.nodes, b.stats.nodes);
+  EXPECT_DOUBLE_EQ(a.lifetime_min, b.lifetime_min);
   EXPECT_EQ(a.decisions, b.decisions);
+  EXPECT_LE(a.stats.nodes, b.stats.nodes);
+  EXPECT_GT(a.stats.pruned_by_bound, 0u);
 }
 
 TEST(Optimal, MemoCapEvictsWithoutChangingTheResult) {
@@ -459,6 +468,104 @@ TEST(Optimal, StatsAreReported) {
   EXPECT_GT(r.stats.nodes, 0u);
   EXPECT_GT(r.stats.memo_entries, 0u);
   EXPECT_FALSE(r.decisions.empty());
+}
+
+TEST(TrajectoryBound, IsAdmissibleOnSeededRandomHeterogeneousBanks) {
+  // Property over seeded random mixed banks: the trajectory bound from the
+  // full root state never undercuts the exact optimum (admissibility — the
+  // search may prune with it without losing the optimal schedule) and
+  // never exceeds the flat drain cap it succeeds (it only ever tightens).
+  for (const std::uint64_t seed : {3u, 11u, 29u, 57u, 88u, 131u}) {
+    rng r{seed};
+    std::vector<kibam::battery_parameters> params;
+    const std::size_t batteries = 2 + seed % 2;  // 2- and 3-battery banks
+    for (std::size_t b = 0; b < batteries; ++b) {
+      params.push_back(kibam::itsy_battery(2.0 + 0.25 * r.below(13)));
+    }
+    const kibam::bank bank{params};
+    for (const load::test_load l :
+         {load::test_load::cl_alt, load::test_load::ils_500,
+          load::test_load::ils_alt}) {
+      const load::trace t = load::paper_trace(l);
+      std::int64_t max_draw = 0;
+      std::int64_t flat_units = 0;
+      for (const load::epoch& e : t.cycle()) {
+        if (e.current_a > 0) {
+          max_draw = std::max(
+              max_draw, load::rate_for(e.current_a, bank.steps()).units);
+        }
+      }
+      for (std::size_t b = 0; b < bank.size(); ++b) {
+        flat_units += deliverable_units(bank.disc(b),
+                                        bank.disc(b).total_units(), max_draw);
+      }
+      const std::int64_t bound = trajectory_bound_steps(
+          bank, bank.full_states(), t, 0, max_draw);
+      const std::int64_t flat =
+          drain_bound_steps(bank.steps(), t, 0, flat_units);
+      const optimal_result best = optimal_schedule(bank, t);
+      const auto best_steps = static_cast<std::int64_t>(
+          std::llround(best.lifetime_min / bank.steps().time_step_min));
+      EXPECT_GE(bound, best_steps)
+          << "bound undercuts the optimum: seed " << seed << ", "
+          << load::name(l);
+      EXPECT_LE(bound, flat)
+          << "bound looser than the flat drain cap: seed " << seed << ", "
+          << load::name(l);
+    }
+  }
+}
+
+TEST(Parallel, ThreadCountsProduceBitIdenticalResults) {
+  // The parallel search fixes every subtree task's pruning floor before
+  // the fan-out, so lifetime and decisions must be bit-identical whatever
+  // the worker count — on homogeneous and mixed banks, both directions.
+  const kibam::bank mixed{{kibam::itsy_battery(5.5),
+                           kibam::itsy_battery(4.0)}};
+  const kibam::bank twins{kibam::discretization{kibam::battery_b1()}, 2};
+  for (const kibam::bank* bank : {&mixed, &twins}) {
+    for (const load::test_load l :
+         {load::test_load::ils_alt, load::test_load::ils_r1}) {
+      const load::trace t = load::paper_trace(l);
+      const optimal_result ref = optimal_schedule(*bank, t);
+      const optimal_result worst_ref = worst_schedule(*bank, t);
+      EXPECT_EQ(ref.stats.memo_shards, 1u);
+      for (const std::uint64_t threads : {2u, 4u}) {
+        search_options opts;
+        opts.threads = threads;
+        const optimal_result r = optimal_schedule(*bank, t, opts);
+        EXPECT_DOUBLE_EQ(r.lifetime_min, ref.lifetime_min)
+            << threads << " threads on " << load::name(l);
+        EXPECT_EQ(r.decisions, ref.decisions)
+            << threads << " threads on " << load::name(l);
+        EXPECT_GT(r.stats.memo_shards, 1u);
+        const optimal_result w = worst_schedule(*bank, t, opts);
+        EXPECT_DOUBLE_EQ(w.lifetime_min, worst_ref.lifetime_min)
+            << threads << " threads (worst) on " << load::name(l);
+        EXPECT_EQ(w.decisions, worst_ref.decisions)
+            << threads << " threads (worst) on " << load::name(l);
+      }
+    }
+  }
+}
+
+TEST(Parallel, SharedMemoReusesSubtreesAcrossSearches) {
+  // Two searches over the same bank + load + direction sharing one memo:
+  // the second starts on the first's table, so it expands strictly fewer
+  // nodes than a cold search while producing the identical exact result.
+  const auto d = disc_b1();
+  const load::trace t = load::paper_trace(load::test_load::ils_250);
+  const optimal_result cold = optimal_schedule(d, 2, t);
+  search_options opts;
+  opts.shared_memo = make_shared_memo();
+  const optimal_result first = optimal_schedule(d, 2, t, opts);
+  const optimal_result second = optimal_schedule(d, 2, t, opts);
+  EXPECT_DOUBLE_EQ(first.lifetime_min, cold.lifetime_min);
+  EXPECT_EQ(first.decisions, cold.decisions);
+  EXPECT_DOUBLE_EQ(second.lifetime_min, cold.lifetime_min);
+  EXPECT_EQ(second.decisions, cold.decisions);
+  EXPECT_LT(second.stats.nodes, cold.stats.nodes);
+  EXPECT_GT(second.stats.memo_hits, 0u);
 }
 
 TEST(Optimal, NodeBudgetEnforced) {

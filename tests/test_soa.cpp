@@ -2,6 +2,7 @@
 // soa_bank (lane stepping) against the per-tick reference bank::step_all.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <random>
 #include <vector>
@@ -164,6 +165,47 @@ TEST(SoaBank, AdvanceLaneMatchesPerTickAcrossLanes) {
           << "lane " << lane << " segment " << i;
     }
   }
+}
+
+TEST(SoaBank, VectorizedRecoverySweepMatchesScalarStepOnWideBanks) {
+  // The branchless recovery sweep in step_lane must stay bit-identical to
+  // per-battery step() whatever mix of armed (m >= 2), resting (m < 2)
+  // and dead batteries a wide heterogeneous lane holds — including the
+  // masked table read for disarmed slots. Nine batteries make the simd
+  // loop cover several vector widths plus a scalar tail.
+  std::vector<battery_parameters> mix;
+  for (int i = 0; i < 9; ++i) {
+    mix.push_back(i % 3 == 0 ? battery_b2() : battery_b1());
+  }
+  const bank bk{mix};
+  soa_bank soa{bk, 1};
+  std::vector<discrete_state> ref = bk.full_states();
+  std::mt19937_64 rng{4};
+  std::uniform_int_distribution<std::size_t> pick{0, bk.size() - 1};
+  std::uniform_int_distribution<int> units{1, 3};
+  std::uniform_int_distribution<int> period{1, 4};
+  std::uniform_int_distribution<int> burst{1, 200};
+  std::size_t deaths = 0;
+  for (int seg = 0; seg < 400; ++seg) {
+    const std::size_t active = pick(rng);
+    const load::draw_rate rate{units(rng), period(rng)};
+    const int steps = burst(rng);
+    soa.reset_discharge(0, active);
+    ref[active].discharge_elapsed = 0;
+    for (int i = 0; i < steps; ++i) {
+      const step_event a = soa.step_lane(0, active, rate);
+      const step_event b = bk.step_all(ref, active, rate);
+      ASSERT_EQ(a, b) << "segment " << seg << " step " << i;
+      if (a == step_event::died) ++deaths;
+    }
+    ASSERT_EQ(soa.lane_states(0), ref) << "segment " << seg;
+    if (std::ranges::all_of(ref, [](const auto& b2) { return b2.empty; })) {
+      break;
+    }
+  }
+  // The drive must have crossed the interesting regime: some batteries
+  // died (their recovery keeps running), others were still mid-recovery.
+  EXPECT_GT(deaths, 0u);
 }
 
 TEST(SoaBank, ResetLaneRestoresFullWithoutTouchingOthers) {

@@ -28,8 +28,14 @@
 #include "api/sweep.hpp"
 #include "dist/codec.hpp"
 #include "dist/shard.hpp"
+#include "kibam/bank.hpp"
+#include "kibam/discrete.hpp"
+#include "kibam/parameters.hpp"
+#include "load/jobs.hpp"
+#include "load/trace.hpp"
 #include "net/message.hpp"
 #include "net/socket.hpp"
+#include "opt/search.hpp"
 #include "svc/coordinator.hpp"
 #include "svc/worker.hpp"
 #include "util/error.hpp"
@@ -129,6 +135,44 @@ TEST(StressSweep, DeliveryStaysInGridOrderUnderOversubscription) {
 
   ASSERT_EQ(seen.size(), total);
   for (std::size_t i = 0; i < total; ++i) EXPECT_EQ(seen[i], i);
+}
+
+// --- StressSearch: oversubscribed exact search over one shared memo -----
+
+TEST(StressSearch, OversubscribedSearchesOverOneSharedMemoStayExact) {
+  // Several exact searches of the same problem run concurrently, each on
+  // a work-stealing pool far wider than the core count, all hammering ONE
+  // sharded transposition table — the memo's striped locks, its FIFO
+  // eviction counters and the pool's deques under maximum interleaving.
+  // The contract is bit-identical results (lifetime AND decisions) against
+  // the single-threaded private-memo reference, every run, every round:
+  // a racing floor update or a torn memo entry shows up here as a wrong
+  // decision vector even when TSan is off, and as a report when it is on.
+  const kibam::bank bank{kibam::discretization{kibam::battery_b1()}, 2};
+  const load::trace t = load::paper_trace(load::test_load::ils_250);
+  const opt::optimal_result ref = opt::optimal_schedule(bank, t);
+
+  opt::search_options opts;
+  opts.threads = 8;  // well above this machine's core count
+  opts.shared_memo = opt::make_shared_memo();
+  const std::size_t searches = 8 / kLoadScale + 2;
+  for (int round = 0; round < 2; ++round) {
+    // Round 0 races to fill the cold table; round 1 reads it back warm.
+    std::vector<std::future<opt::optimal_result>> runs;
+    runs.reserve(searches);
+    for (std::size_t i = 0; i < searches; ++i) {
+      runs.push_back(std::async(std::launch::async, [&] {
+        return opt::optimal_schedule(bank, t, opts);
+      }));
+    }
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const opt::optimal_result r = runs[i].get();
+      EXPECT_DOUBLE_EQ(r.lifetime_min, ref.lifetime_min)
+          << "round " << round << " search " << i;
+      EXPECT_EQ(r.decisions, ref.decisions)
+          << "round " << round << " search " << i;
+    }
+  }
 }
 
 // --- StressSvc: coordinator + in-process fleet under forced failures ----
