@@ -7,6 +7,7 @@
 // exactly this report.
 //
 //   $ ./scenario_sweep [--threads N] [--replications R] [--csv FILE]
+//                      [--trace FILE]
 //
 // Prints one row per cell with the lifetime distribution statistics
 // (n, mean, stddev, 95% CI, min/max, sketch median, cache hits) and
@@ -16,8 +17,12 @@
 // util/csv with self-describing scenario columns (label/load/policy/
 // fidelity), so a full sweep is reproducible and plottable from the
 // command line — and serves as the reference for `sweep_merge --expect`.
+// With --trace the first (multi-threaded) sweep runs under the global
+// tracer and its spans are exported as chrome://tracing JSON — empty
+// when the build has BSCHED_OBS=OFF, since the span macros compile away.
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -25,6 +30,7 @@
 #include "api/engine.hpp"
 #include "api/scenario.hpp"
 #include "api/sweep.hpp"
+#include "obs/trace.hpp"
 
 int main(int argc, char** argv) {
   using namespace bsched;
@@ -32,6 +38,7 @@ int main(int argc, char** argv) {
   std::size_t n_threads = 8;
   std::size_t replications = 30;
   std::string csv_path;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&]() -> std::string {
@@ -47,10 +54,12 @@ int main(int argc, char** argv) {
       replications = tools::cli_number(arg, value());
     } else if (arg == "--csv") {
       csv_path = value();
+    } else if (arg == "--trace") {
+      trace_path = value();
     } else {
       std::fprintf(stderr,
                    "usage: scenario_sweep [--threads N] "
-                   "[--replications R] [--csv FILE]\n");
+                   "[--replications R] [--csv FILE] [--trace FILE]\n");
       return 2;
     }
   }
@@ -66,7 +75,18 @@ int main(int argc, char** argv) {
 
   const api::engine engine;
   api::summarize sink{sweep};
+  if (!trace_path.empty()) obs::tracer::global().enable(true);
   const api::sweep_stats stats = engine.run_sweep(sweep, sink, n_threads);
+  if (!trace_path.empty()) {
+    obs::tracer::global().enable(false);
+    std::ofstream out{trace_path};
+    if (!out.good()) {
+      std::fprintf(stderr, "scenario_sweep: cannot write %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    obs::write_chrome_trace(obs::tracer::global().drain(), out);
+  }
 
   // The determinism contract, demonstrated: a single-threaded run must
   // produce byte-identical summaries and stats.

@@ -2,9 +2,13 @@
 # CI entry point. Flavours:
 #   debug      — Debug build, warnings-as-errors, full test suite;
 #   release    — optimized Release build, full test suite plus smoke runs
-#                of the examples/benches and the perf gate, so
-#                optimized-build breakage and gross perf regressions
-#                surface in CI;
+#                of the examples/benches, the observability smoke (the
+#                service's telemetry exposition and a traced sweep must
+#                parse through their readers) and the perf gate — run
+#                twice when google-benchmark is present: the default
+#                obs-on build and a BSCHED_OBS=OFF build, both against
+#                the same committed baseline, so the "macros compile to
+#                nothing" guarantee is load-bearing, not aspirational;
 #   asan-ubsan — AddressSanitizer + UndefinedBehaviorSanitizer build,
 #                full test suite (leak detection on, first report fatal);
 #   tsan       — ThreadSanitizer build; runs the concurrency-heavy
@@ -110,7 +114,7 @@ run_tsan() {
     ctest --test-dir "$dir" -R "Stress" --no-tests=error \
     --output-on-failure -j "$JOBS"
   TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
-    ctest --test-dir "$dir" -R "Svc|Sweep|Api|Dist|Net" --no-tests=error \
+    ctest --test-dir "$dir" -R "Svc|Sweep|Api|Dist|Net|Obs" --no-tests=error \
     --output-on-failure -j "$JOBS"
 }
 
@@ -182,6 +186,7 @@ run_release() {
   "$dir/sweep_serve" --replications 300 --port 0 \
     --port-file "$svc_dir/port" --workers-expected 3 --lease-timeout 2 \
     --lease-items 500 --chunk 5 --deadline 120 --agg "$svc_dir/svc.agg" \
+    --metrics-out "$svc_dir/metrics.txt" --metrics-interval 200 \
     > /dev/null 2> "$svc_dir/serve.log" &
   serve_pid=$!
   CLEANUP_PIDS+=("$serve_pid")
@@ -214,6 +219,19 @@ run_release() {
   grep -Eq "[1-9][0-9]* lease\(s\) re-queued" "$svc_dir/serve.log"
   "$dir/sweep_merge" --expect "$svc_dir/ref.csv" "$svc_dir/svc.agg" \
     > /dev/null
+  # Observability smoke: the fleet run above also wrote its telemetry
+  # exposition; it must parse (obs_report's strict decoder) and carry the
+  # coordinator's item accounting. Then a traced sweep must produce a
+  # chrome-trace export that both readers (tools/obs_report and the
+  # stdlib-only scripts/trace_summary.py) can digest.
+  grep -q "^bsched-telemetry v1$" "$svc_dir/metrics.txt"
+  "$dir/obs_report" --metrics "$svc_dir/metrics.txt" \
+    | grep -q "svc.coordinator.results_accepted_total"
+  "$dir/scenario_sweep" --threads 2 --replications 5 \
+    --trace "$svc_dir/trace.json" > /dev/null
+  "$dir/obs_report" --trace "$svc_dir/trace.json" > /dev/null
+  python3 scripts/trace_summary.py "$svc_dir/trace.json" \
+    | grep -q "engine.run_sweep"
   "$dir/bench_table3" > /dev/null
   "$dir/bench_lookahead" > /dev/null
   # Perf gate: the microbenchmarks run in JSON mode and are judged
@@ -229,6 +247,17 @@ run_release() {
       --benchmark_format=json --benchmark_out="$dir/bench_micro.json"
     python3 scripts/bench_gate.py --baseline BENCH_micro.json \
       --current "$dir/bench_micro.json" --tolerance 3.0
+    # The zero-overhead guarantee of the obs macros, enforced: with
+    # BSCHED_OBS=OFF every instrumentation site compiles to nothing, so
+    # the obs-off kernels must clear the same committed baseline the
+    # obs-on build just did.
+    local obs_off="$BUILD_PREFIX-release-obs-off"
+    configure_and_build "$obs_off" Release -DBSCHED_OBS=OFF
+    "$obs_off/bench_micro" --benchmark_min_time=0.1 \
+      --benchmark_format=json --benchmark_out="$obs_off/bench_micro.json"
+    python3 scripts/bench_gate.py --baseline BENCH_micro.json \
+      --current "$obs_off/bench_micro.json" --tolerance 3.0
+    ctest --test-dir "$obs_off" --output-on-failure -j "$JOBS"
   else
     echo "ci: bench_micro not built (google-benchmark missing); skipped"
   fi

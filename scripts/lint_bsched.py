@@ -34,12 +34,23 @@ Rules (see README "Correctness tooling"):
                     #pragma once.
 
   version-literal   wire-format version strings ("bsched-shard",
-                    "bsched-sweep", "bsched-msg") appear in exactly one
-                    owning codec file each (src/dist/codec.cpp,
-                    src/net/message.cpp) — in src/ and tools/, nothing
+                    "bsched-sweep", "bsched-msg", "bsched-telemetry")
+                    appear in exactly one owning codec file each
+                    (src/dist/codec.cpp, src/net/message.cpp,
+                    src/obs/telemetry.cpp) — in src/ and tools/, nothing
                     else may embed them, so a version bump cannot miss a
                     stray literal. tests/ may forge foreign versions in
-                    negative tests.
+                    negative tests. The match set derives from
+                    VERSION_OWNERS, so adding a format means adding its
+                    owner here and nothing else.
+
+  obs-discipline    instrumentation goes through the BSCHED_* macros of
+                    obs/obs.hpp (which compile away under
+                    BSCHED_OBS=OFF): outside src/obs/, library and tool
+                    code must not name obs::detail — a direct handle or
+                    span would survive an obs-off build and break the
+                    zero-overhead guarantee. tests/ may poke the detail
+                    layer (reading-side white-box tests).
 
   thread-discipline library code must not spawn raw threads (std::thread/
                     std::jthread construction, std::async) outside the
@@ -74,7 +85,17 @@ VERSION_OWNERS = {
     "bsched-shard": os.path.join("src", "dist", "codec.cpp"),
     "bsched-sweep": os.path.join("src", "dist", "codec.cpp"),
     "bsched-msg": os.path.join("src", "net", "message.cpp"),
+    "bsched-telemetry": os.path.join("src", "obs", "telemetry.cpp"),
 }
+
+# Built from VERSION_OWNERS so a new wire format only needs its owner
+# registered above.
+VERSION_PATTERN = re.compile(
+    r'"[^"\n]*bsched-(' +
+    "|".join(sorted(k.removeprefix("bsched-") for k in VERSION_OWNERS)) +
+    r')[^"\n]*"')
+
+OBS_DETAIL_PATTERN = re.compile(r"\bobs\s*::\s*detail\b")
 
 # std::thread/std::jthread not followed by '::' (static members like
 # hardware_concurrency are not a spawn), plus std::async.
@@ -262,7 +283,7 @@ def check_version_literals(rel, code):
             rel.startswith("tools" + os.sep)):
         return []
     findings = []
-    for m in re.finditer(r'"[^"\n]*bsched-(shard|sweep|msg)[^"\n]*"', code):
+    for m in VERSION_PATTERN.finditer(code):
         owner = VERSION_OWNERS["bsched-" + m.group(1)]
         if rel != owner:
             findings.append(
@@ -287,8 +308,24 @@ def check_threads(rel, code):
     return findings
 
 
+def check_obs_detail(rel, code):
+    if not (rel.startswith("src" + os.sep) or
+            rel.startswith("tools" + os.sep)):
+        return []
+    if rel.startswith(os.path.join("src", "obs") + os.sep):
+        return []
+    findings = []
+    for m in OBS_DETAIL_PATTERN.finditer(strip_strings(code)):
+        findings.append(
+            (line_of(code, m.start()), "obs-discipline",
+             "direct obs::detail use outside src/obs — instrument through "
+             "the BSCHED_* macros of obs/obs.hpp so the site compiles away "
+             "under BSCHED_OBS=OFF"))
+    return findings
+
+
 CODE_CHECKS = (check_no_io, check_require_prefix, check_rng,
-               check_version_literals, check_threads)
+               check_version_literals, check_threads, check_obs_detail)
 
 
 def lint_file(rel, text):
@@ -416,6 +453,27 @@ def self_test():
         ("version string mentioned in a comment is fine",
          "src/net/message.hpp",
          '#pragma once\n// the N of "bsched-msg vN"\n', []),
+        ("telemetry version literal in its owner",
+         "src/obs/telemetry.cpp", 'auto m = "bsched-telemetry v1";', []),
+        ("telemetry version literal astray in src",
+         "src/svc/worker.cpp", 'auto m = "bsched-telemetry v1";',
+         ["version-literal"]),
+        ("obs::detail outside src/obs",
+         "src/api/engine.cpp",
+         "void f() { static obs::detail::counter_handle h{\"x\"}; }",
+         ["obs-discipline"]),
+        ("qualified obs::detail in a tool",
+         "tools/sweep_serve.cpp",
+         "bsched::obs::detail::span s{t, \"x\"};", ["obs-discipline"]),
+        ("obs::detail inside src/obs is the implementation",
+         "src/obs/metrics.cpp", "obs::detail::counter_handle h{\"x\"};", []),
+        ("obs macros at a call site are fine",
+         "src/kibam/bank.cpp",
+         'void f() { BSCHED_COUNTER_ADD("kibam.calls_total", 1); }', []),
+        ("obs::detail in a comment is fine",
+         "src/api/engine.cpp", "// never name obs::detail here\n", []),
+        ("tests may poke obs::detail",
+         "tests/test_obs.cpp", "obs::detail::span s{t, \"x\"};", []),
         ("raw std::thread in library code",
          "src/opt/search.cpp", "void f() { std::thread t{[] {}}; }",
          ["thread-discipline"]),

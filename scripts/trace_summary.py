@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Summarize a bsched chrome-trace export (obs::write_chrome_trace).
+
+Usage:
+  trace_summary.py TRACE.json [--top K]
+
+Reads the "traceEvents" of a trace written by scenario_sweep --trace (or
+any obs::write_chrome_trace sink) and prints the top K span names (default
+10) ranked by total time, with call counts, total/mean wall time and
+*self* time — total minus the time spent in direct children, resolved
+through the explicit parent ids our exporter stores in args. Stdlib only;
+CI runs it as the trace smoke.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_events(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise SystemExit(f"trace_summary: {path}: no traceEvents array")
+    spans = []
+    for ev in events:
+        if ev.get("ph") != "X":
+            continue
+        args = ev.get("args", {})
+        spans.append({
+            "name": ev.get("name", "?"),
+            "dur": float(ev.get("dur", 0.0)),
+            "id": int(args.get("id", 0)),
+            "parent": int(args.get("parent", 0)),
+        })
+    return spans
+
+
+def aggregate(spans):
+    """Per-name {count, total_us, self_us}; self = dur - direct children."""
+    child_time = {}  # parent id -> summed child dur
+    for s in spans:
+        if s["parent"]:
+            child_time[s["parent"]] = child_time.get(s["parent"], 0.0) \
+                + s["dur"]
+    by_name = {}
+    for s in spans:
+        agg = by_name.setdefault(s["name"],
+                                 {"count": 0, "total_us": 0.0,
+                                  "self_us": 0.0})
+        agg["count"] += 1
+        agg["total_us"] += s["dur"]
+        # A child drained without its parent (ring overflow) just leaves
+        # the parent's self time equal to its total time.
+        agg["self_us"] += max(0.0, s["dur"] - child_time.get(s["id"], 0.0))
+    return by_name
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="chrome-trace JSON file")
+    ap.add_argument("--top", type=int, default=10,
+                    help="span names to show (default 10)")
+    args = ap.parse_args()
+    if args.top <= 0:
+        raise SystemExit("trace_summary: --top must be positive")
+
+    spans = load_events(args.trace)
+    if not spans:
+        print(f"{args.trace}: 0 spans")
+        return 0
+    by_name = aggregate(spans)
+    ranked = sorted(by_name.items(), key=lambda kv: -kv[1]["total_us"])
+
+    rows = [("span", "count", "total ms", "self ms", "mean us")]
+    for name, agg in ranked[:args.top]:
+        rows.append((name, str(agg["count"]),
+                     f"{agg['total_us'] / 1000.0:.3f}",
+                     f"{agg['self_us'] / 1000.0:.3f}",
+                     f"{agg['total_us'] / agg['count']:.1f}"))
+    widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+    for i, row in enumerate(rows):
+        cells = [c.ljust(w) if j == 0 else c.rjust(w)
+                 for j, (c, w) in enumerate(zip(row, widths))]
+        print("  ".join(cells).rstrip())
+        if i == 0:
+            print("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    shown = min(args.top, len(ranked))
+    print(f"\n{len(spans)} span(s), {len(by_name)} name(s), "
+          f"top {shown} by total time")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@
 
 #include "kibam/bank.hpp"
 #include "kibam/soa.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 #include "util/task_pool.hpp"
 
@@ -66,6 +67,11 @@ sweep_stats engine::run_sweep(const sweep& sw, result_sink& sink,
   const std::size_t total = sw.cells.size() * sw.replications;
   if (total == 0) return stats;
   stats.runs = total;
+
+  BSCHED_TRACE_SPAN(sweep_span, "engine.run_sweep");
+  // Pool threads open their spans against this id explicitly — the
+  // per-thread parent stack does not cross threads.
+  const std::uint64_t sweep_parent = sweep_span.id();
 
   // Dedup pass: one job per distinct effective scenario, in first-seen
   // grid order. Duplicate (cell, replication) items — repeated grid cells,
@@ -171,6 +177,7 @@ sweep_stats engine::run_sweep(const sweep& sw, result_sink& sink,
   std::vector<std::atomic<bool>> done(jobs.size());
 
   const auto evaluate = [&](std::size_t j) noexcept {
+    BSCHED_TRACE_SPAN(job_span, "engine.job", sweep_parent);
     try {
       results[j] = run(jobs[j]);
     } catch (const std::exception& e) {
@@ -199,7 +206,12 @@ sweep_stats engine::run_sweep(const sweep& sw, result_sink& sink,
            done[job_of[delivered]].load(std::memory_order_acquire)) {
       const std::size_t item = delivered;
       const std::size_t j = job_of[item];
-      if (!results[j].ok()) ++stats.failures;
+      BSCHED_COUNTER_ADD("engine.items_total", 1);
+      if (item != first_item[j]) BSCHED_COUNTER_ADD("engine.cache_hits_total", 1);
+      if (!results[j].ok()) {
+        ++stats.failures;
+        BSCHED_COUNTER_ADD("engine.failures_total", 1);
+      }
       if (sink_error == nullptr) {
         try {
           sink.consume(sweep_result{item / sw.replications,
@@ -223,11 +235,15 @@ sweep_stats engine::run_sweep(const sweep& sw, result_sink& sink,
   // so the error lands on every affected job exactly as run() reports it.
   const auto evaluate_batch = [&](const std::vector<std::size_t>& members)
       noexcept {
+    BSCHED_HISTOGRAM_OBSERVE("engine.batch_lanes",
+                             static_cast<double>(members.size()), 1, 2, 4, 8,
+                             16, 32);
     if (members.size() == 1) {
       evaluate(members.front());
       flush();
       return;
     }
+    BSCHED_TRACE_SPAN(batch_span, "engine.batch", sweep_parent);
     std::optional<kibam::bank> bank;
     std::optional<kibam::soa_bank> soa;
     try {
@@ -244,6 +260,7 @@ sweep_stats engine::run_sweep(const sweep& sw, result_sink& sink,
     for (std::size_t lane = 0; lane < members.size(); ++lane) {
       const std::size_t j = members[lane];
       try {
+        BSCHED_TRACE_SPAN(lane_span, "engine.job", batch_span.id());
         results[j] = run_lane(jobs[j], *bank, *soa, lane);
       } catch (const std::exception& e) {
         results[j] = run_result{};

@@ -172,6 +172,7 @@ std::string cell_key(const scenario& scn) {
 
 void cell_accumulator::add(const run_result& r, bool cache_hit) {
   if (cache_hit) ++cache_hits;
+  search += r.search;  // every delivery counts, failed or cached alike
   if (!r.ok()) {
     ++failures;
     return;
@@ -196,6 +197,7 @@ void cell_accumulator::add(const run_result& r, bool cache_hit) {
 void cell_accumulator::merge(const cell_accumulator& other) {
   failures += other.failures;
   cache_hits += other.cache_hits;
+  search += other.search;
   lifetime.merge(other.lifetime);
   residual.merge(other.residual);
   if (other.n == 0) return;
@@ -223,6 +225,7 @@ void cell_accumulator::finalize(cell_summary& out) const {
   out.n = n;
   out.failures = failures;
   out.cache_hits = cache_hits;
+  out.search = search;
   out.mean_min = mean;
   out.min_min = min;
   out.max_min = max;

@@ -135,6 +135,12 @@ struct cell_summary {
   double p90_min = 0;
   /// Median residual charge at death (A*min) from the residual sketch.
   double p50_residual_amin = 0;
+  /// Planning effort summed over every delivered replication of the cell
+  /// (cache hits replay the cached run's stats, failures contribute
+  /// whatever the run counted before erroring) — all-zero for blind
+  /// policies. Integer sums, so shard merges reproduce the
+  /// single-process values exactly.
+  opt::search_stats search;
 
   friend bool operator==(const cell_summary&, const cell_summary&) = default;
 };
@@ -161,6 +167,7 @@ struct cell_accumulator {
   double max = 0;
   tdigest lifetime{summary_digest_centroids};
   tdigest residual{summary_digest_centroids};
+  opt::search_stats search;  ///< Field-wise sum over delivered results.
 
   /// Folds one delivered result in (Welford update + sketches).
   void add(const run_result& r, bool cache_hit);

@@ -190,6 +190,15 @@ void encode(const shard_aggregate& agg, std::ostream& out) {
         << shortest_double(c.agg.mean) << " m2=" << shortest_double(c.agg.m2)
         << " min=" << shortest_double(c.agg.min)
         << " max=" << shortest_double(c.agg.max) << '\n';
+    const sched::search_stats& s = c.agg.search;
+    out << "search nodes=" << s.nodes << " memo_hits=" << s.memo_hits
+        << " pruned=" << s.pruned << " memo_entries=" << s.memo_entries
+        << " memo_evictions=" << s.memo_evictions
+        << " rollouts=" << s.rollouts
+        << " pruned_by_bound=" << s.pruned_by_bound
+        << " incumbent_from_lookahead=" << s.incumbent_from_lookahead
+        << " stolen_subtrees=" << s.stolen_subtrees
+        << " memo_shards=" << s.memo_shards << '\n';
     encode_digest("lifetime", c.agg.lifetime, out);
     encode_digest("residual", c.agg.residual, out);
   }
@@ -261,6 +270,18 @@ shard_aggregate decode(std::istream& in) {
     c.agg.m2 = r.value_double("m2");
     c.agg.min = r.value_double("min");
     c.agg.max = r.value_double("max");
+    r.expect_line("search");
+    c.agg.search.nodes = r.value_u64("nodes");
+    c.agg.search.memo_hits = r.value_u64("memo_hits");
+    c.agg.search.pruned = r.value_u64("pruned");
+    c.agg.search.memo_entries = r.value_u64("memo_entries");
+    c.agg.search.memo_evictions = r.value_u64("memo_evictions");
+    c.agg.search.rollouts = r.value_u64("rollouts");
+    c.agg.search.pruned_by_bound = r.value_u64("pruned_by_bound");
+    c.agg.search.incumbent_from_lookahead =
+        r.value_u64("incumbent_from_lookahead");
+    c.agg.search.stolen_subtrees = r.value_u64("stolen_subtrees");
+    c.agg.search.memo_shards = r.value_u64("memo_shards");
     r.expect_line("lifetime");
     c.agg.lifetime = decode_digest(r);
     r.expect_line("residual");

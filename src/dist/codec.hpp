@@ -18,6 +18,7 @@
 //   policy=round_robin
 //   fidelity=discrete
 //   agg n=4 failures=0 cache_hits=0 mean=... m2=... min=... max=...
+//   search nodes=0 memo_hits=0 pruned=0 ... memo_shards=0
 //   lifetime budget=64 centroids=4 m:w m:w m:w m:w
 //   residual budget=64 centroids=4 m:w m:w m:w m:w
 //   ...

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "kibam/advance.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace bsched::kibam {
@@ -68,6 +69,11 @@ advance_result bank::advance_all(std::vector<discrete_state>& states,
     detail::advance_rest(discs_[type_of_[b]], s.m, s.recovery_elapsed,
                          out.steps);
   }
+  // Kernel-call granularity only (the event-horizon stepper amortizes
+  // many time steps per call), so the hook stays off the per-step path.
+  BSCHED_COUNTER_ADD("kibam.advance_calls_total", 1);
+  BSCHED_COUNTER_ADD("kibam.advance_steps_total",
+                     static_cast<std::uint64_t>(out.steps));
   return out;
 }
 

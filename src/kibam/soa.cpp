@@ -1,6 +1,7 @@
 #include "kibam/soa.hpp"
 
 #include "kibam/advance.hpp"
+#include "obs/obs.hpp"
 #include "util/error.hpp"
 
 namespace bsched::kibam {
@@ -129,6 +130,10 @@ advance_result soa_bank::advance_lane(std::size_t lane, std::size_t active,
     const std::size_t i = at(lane, b);
     detail::advance_rest(bank_->disc(b), m_[i], rec_[i], out.steps);
   }
+  // Hook at the amortized kernel entry, not the per-step inner loop.
+  BSCHED_COUNTER_ADD("kibam.soa.advance_calls_total", 1);
+  BSCHED_COUNTER_ADD("kibam.soa.advance_steps_total",
+                     static_cast<std::uint64_t>(out.steps));
   return out;
 }
 

@@ -27,6 +27,11 @@
 //   C->W  shutdown   [reason=<token>]            — no work ever again
 //   W->C  heartbeat  session=S lease=L epoch=E done=F
 //                                                — F: global item frontier
+//                                                body (optional):
+//                                                bsched-telemetry v1, the
+//                                                worker's metrics snapshot
+//                                                (obs/telemetry.hpp);
+//                                                empty bodies are fine
 //   C->W  trim       lease=L epoch=E last=X      — work-steal proposal
 //   W->C  trimmed    session=S lease=L epoch=E last=Y
 //                                                — actual cut, Y >= X or

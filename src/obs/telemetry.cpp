@@ -1,0 +1,168 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/text.hpp"
+
+namespace bsched::obs {
+
+namespace {
+
+/// Splits a line into whitespace-free tokens (single spaces between
+/// fields; the encoder never emits doubled spaces).
+std::vector<std::string_view> tokens(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    const std::size_t space = line.find(' ', pos);
+    const std::size_t end = space == std::string_view::npos ? line.size()
+                                                            : space;
+    if (end > pos) out.push_back(line.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return out;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& detail) {
+  throw error("obs: telemetry line " + std::to_string(line_no) + ": " +
+              detail);
+}
+
+std::string_view keyed(std::string_view token, std::string_view key,
+                       std::size_t line_no) {
+  if (token.size() <= key.size() + 1 ||
+      token.substr(0, key.size()) != key || token[key.size()] != '=') {
+    fail(line_no, "expected '" + std::string{key} + "=...', got '" +
+                      std::string{token} + "'");
+  }
+  return token.substr(key.size() + 1);
+}
+
+}  // namespace
+
+void encode_telemetry(const snapshot& snap, std::ostream& out) {
+  out << "bsched-telemetry v" << telemetry_version << '\n';
+
+  std::vector<const counter_sample*> counters;
+  counters.reserve(snap.counters.size());
+  for (const counter_sample& c : snap.counters) counters.push_back(&c);
+  std::sort(counters.begin(), counters.end(),
+            [](const auto* a, const auto* b) { return a->name < b->name; });
+  for (const counter_sample* c : counters) {
+    out << "counter " << c->name << ' ' << c->value << '\n';
+  }
+
+  std::vector<const gauge_sample*> gauges;
+  gauges.reserve(snap.gauges.size());
+  for (const gauge_sample& g : snap.gauges) gauges.push_back(&g);
+  std::sort(gauges.begin(), gauges.end(),
+            [](const auto* a, const auto* b) { return a->name < b->name; });
+  for (const gauge_sample* g : gauges) {
+    out << "gauge " << g->name << ' ' << shortest_double(g->value) << '\n';
+  }
+
+  std::vector<const histogram_sample*> hists;
+  hists.reserve(snap.histograms.size());
+  for (const histogram_sample& h : snap.histograms) hists.push_back(&h);
+  std::sort(hists.begin(), hists.end(),
+            [](const auto* a, const auto* b) { return a->name < b->name; });
+  for (const histogram_sample* h : hists) {
+    out << "hist " << h->name << " bounds=" << h->bounds.size();
+    for (const double b : h->bounds) out << ' ' << shortest_double(b);
+    for (const std::uint64_t c : h->buckets) out << ' ' << c;
+    out << " sum=" << shortest_double(h->sum) << '\n';
+  }
+
+  out << "end\n";
+  require(out.good(), "obs: telemetry sink write failed");
+}
+
+std::string encode_telemetry_str(const snapshot& snap) {
+  std::ostringstream out;
+  encode_telemetry(snap, out);
+  return out.str();
+}
+
+snapshot decode_telemetry(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+  const auto next_line = [&]() {
+    if (!std::getline(in, line)) {
+      fail(line_no + 1, "unexpected end of stream");
+    }
+    ++line_no;
+  };
+
+  next_line();
+  const std::string magic =
+      "bsched-telemetry v" + std::to_string(telemetry_version);
+  if (line != magic) {
+    fail(line_no, "bad magic '" + line + "' (this reader speaks '" + magic +
+                      "')");
+  }
+
+  snapshot snap;
+  while (true) {
+    next_line();
+    if (line == "end") break;
+    const std::vector<std::string_view> t = tokens(line);
+    if (t.empty()) fail(line_no, "blank line inside telemetry body");
+    const std::string_view tag = t[0];
+    if (tag == "counter") {
+      if (t.size() != 3) fail(line_no, "counter wants '<name> <value>'");
+      counter_sample c;
+      c.name = std::string{t[1]};
+      c.value = parse_u64(t[2], "obs: telemetry counter value");
+      snap.counters.push_back(std::move(c));
+    } else if (tag == "gauge") {
+      if (t.size() != 3) fail(line_no, "gauge wants '<name> <value>'");
+      gauge_sample g;
+      g.name = std::string{t[1]};
+      g.value = parse_double(t[2], "obs: telemetry gauge value");
+      snap.gauges.push_back(std::move(g));
+    } else if (tag == "hist") {
+      if (t.size() < 4) fail(line_no, "truncated hist record");
+      histogram_sample h;
+      h.name = std::string{t[1]};
+      const std::size_t k = static_cast<std::size_t>(
+          parse_u64(keyed(t[2], "bounds", line_no),
+                    "obs: telemetry hist bound count"));
+      // name + bounds=k + k bounds + (k+1) buckets + sum.
+      if (k == 0 || t.size() != 3 + k + (k + 1) + 1) {
+        fail(line_no, "hist field count does not match bounds=" +
+                          std::to_string(k));
+      }
+      for (std::size_t i = 0; i < k; ++i) {
+        h.bounds.push_back(
+            parse_double(t[3 + i], "obs: telemetry hist bound"));
+      }
+      for (std::size_t i = 0; i <= k; ++i) {
+        h.buckets.push_back(
+            parse_u64(t[3 + k + i], "obs: telemetry hist bucket"));
+      }
+      h.sum = parse_double(keyed(t.back(), "sum", line_no),
+                           "obs: telemetry hist sum");
+      snap.histograms.push_back(std::move(h));
+    } else {
+      fail(line_no, "unknown record tag '" + std::string{tag} + "'");
+    }
+  }
+  // Strict inverse of the encoder: the document ends at "end".
+  if (in.peek() != std::istream::traits_type::eof()) {
+    fail(line_no + 1, "trailing content after 'end'");
+  }
+  return snap;
+}
+
+snapshot decode_telemetry_str(const std::string& text) {
+  std::istringstream in{text};
+  return decode_telemetry(in);
+}
+
+}  // namespace bsched::obs

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "kibam/scratch.hpp"
+#include "obs/obs.hpp"
 #include "opt/lookahead.hpp"
 #include "opt/memo.hpp"
 #include "util/error.hpp"
@@ -568,6 +569,7 @@ class searcher {
   }
 
   optimal_result run() {
+    BSCHED_TRACE_SPAN(solve_span, "opt.search.solve");
     const bool cycle_has_job = std::ranges::any_of(
         cx_.load.cycle(), [](const load::epoch& e) { return e.current_a > 0; });
     require(cycle_has_job,
@@ -624,6 +626,19 @@ class searcher {
     out.stats = eval.stats;
     out.stats.memo_entries = memo->size();
     out.stats.memo_shards = memo->shard_count();
+    // Live export: a sweep runs many solves, so these accumulate in the
+    // registry as leases progress — visible in heartbeat telemetry long
+    // before the end-of-run search_stats fold.
+    BSCHED_COUNTER_ADD("opt.search.nodes_total", out.stats.nodes);
+    BSCHED_COUNTER_ADD("opt.search.memo_hits_total", out.stats.memo_hits);
+    BSCHED_COUNTER_ADD("opt.search.pruned_total", out.stats.pruned);
+    BSCHED_COUNTER_ADD("opt.search.pruned_by_bound_total",
+                       out.stats.pruned_by_bound);
+    BSCHED_COUNTER_ADD("opt.search.rollouts_total", out.stats.rollouts);
+    BSCHED_COUNTER_ADD("opt.search.stolen_subtrees_total",
+                       out.stats.stolen_subtrees);
+    BSCHED_GAUGE_SET("opt.search.memo_entries",
+                     static_cast<double>(out.stats.memo_entries));
     return out;
   }
 

@@ -133,6 +133,22 @@ struct search_stats {
   /// Shards backing the transposition table (1 = private single-lock).
   std::uint64_t memo_shards = 0;
 
+  /// Field-wise sum — how api::cell_summary folds per-replication stats
+  /// across a cell. memo_shards adds too (read it per run, not folded).
+  search_stats& operator+=(const search_stats& o) noexcept {
+    nodes += o.nodes;
+    memo_hits += o.memo_hits;
+    pruned += o.pruned;
+    memo_entries += o.memo_entries;
+    memo_evictions += o.memo_evictions;
+    rollouts += o.rollouts;
+    pruned_by_bound += o.pruned_by_bound;
+    incumbent_from_lookahead += o.incumbent_from_lookahead;
+    stolen_subtrees += o.stolen_subtrees;
+    memo_shards += o.memo_shards;
+    return *this;
+  }
+
   friend bool operator==(const search_stats&, const search_stats&) = default;
 };
 

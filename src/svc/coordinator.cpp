@@ -14,6 +14,7 @@
 #include "dist/codec.hpp"
 #include "net/message.hpp"
 #include "net/socket.hpp"
+#include "obs/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/streams.hpp"
@@ -22,7 +23,20 @@ namespace bsched::svc {
 
 namespace {
 
-using clock = std::chrono::steady_clock;
+using clock = util::monotonic_clock;  // time_point source is injectable
+
+/// Worker names embed into metric names; anything outside the metric
+/// charset becomes '_'.
+std::string metric_safe(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                    c == ':' || c == '-';
+    if (!ok) c = '_';
+  }
+  return out.empty() ? std::string{"anonymous"} : out;
+}
 
 struct range {
   std::size_t first = 0;
@@ -59,6 +73,17 @@ struct coordinator::impl {
   coordinator_options opts;
   net::listener lst;
   coordinator_counters counters;
+  const util::monotonic_clock* clk = nullptr;
+  clock::time_point started;  ///< run() entry; progress.uptime_s base.
+
+  /// Items of accepted lease results, keyed by worker name — counted
+  /// here, not worker-side, so the per-worker totals tile the stream
+  /// exactly (rejected/expired leases contribute nothing) and sum to
+  /// the folded item count.
+  std::map<std::string, std::uint64_t> accepted_items;
+  /// Last heartbeat-piggybacked snapshot per worker name (last wins).
+  std::map<std::string, obs::snapshot> worker_snaps;
+  std::uint64_t telemetry_decode_errors = 0;
 
   std::size_t total_items = 0;
   std::size_t lease_items = 0;
@@ -79,6 +104,9 @@ struct coordinator::impl {
       : sw(std::move(sweep_in)),
         opts(std::move(opts_in)),
         lst(opts.port, opts.loopback_only) {
+    clk = opts.clock != nullptr ? opts.clock
+                                : &util::monotonic_clock::system();
+    started = clk->now();
     total_items = sw.cells.size() * sw.replications;
     require(total_items > 0, "svc: coordinator needs a non-empty sweep "
                              "(cells x replications == 0)");
@@ -124,7 +152,53 @@ struct coordinator::impl {
     p.pending_leases = pending.size();
     p.active_leases = active.size();
     p.workers = peers.size();
+    p.uptime_s = std::chrono::duration<double>(clk->now() - started).count();
     opts.on_progress(p);
+  }
+
+  /// The fleet view behind coordinator::telemetry().
+  [[nodiscard]] obs::snapshot telemetry() const {
+    obs::snapshot snap;
+    const auto counter = [&](const char* name, std::uint64_t v) {
+      snap.counters.push_back(obs::counter_sample{name, v});
+    };
+    counter("svc.coordinator.workers_seen_total", counters.workers_seen);
+    counter("svc.coordinator.leases_granted_total", counters.leases_granted);
+    counter("svc.coordinator.results_accepted_total",
+            counters.results_accepted);
+    counter("svc.coordinator.results_rejected_total",
+            counters.results_rejected);
+    counter("svc.coordinator.leases_expired_total", counters.expired);
+    counter("svc.coordinator.requeued_disconnect_total",
+            counters.requeued_disconnect);
+    counter("svc.coordinator.steals_total", counters.steals);
+    counter("svc.coordinator.disconnects_total", counters.disconnects);
+    counter("svc.coordinator.telemetry_decode_errors_total",
+            telemetry_decode_errors);
+    const auto gauge = [&](const char* name, double v) {
+      snap.gauges.push_back(obs::gauge_sample{name, v});
+    };
+    gauge("svc.coordinator.total_items", static_cast<double>(total_items));
+    gauge("svc.coordinator.folded_items",
+          static_cast<double>(merger.next()));
+    gauge("svc.coordinator.pending_leases",
+          static_cast<double>(pending.size()));
+    gauge("svc.coordinator.active_leases", static_cast<double>(active.size()));
+    gauge("svc.coordinator.workers", static_cast<double>(peers.size()));
+    gauge("svc.coordinator.uptime_s",
+          std::chrono::duration<double>(clk->now() - started).count());
+    // Coordinator-side accepted-item accounting: these tile the stream
+    // exactly, so summing them across workers reproduces the folded
+    // item count (the test_obs fleet assertion).
+    for (const auto& [name, items] : accepted_items) {
+      snap.counters.push_back(obs::counter_sample{
+          "svc.worker." + metric_safe(name) + ".items_total", items});
+    }
+    // Worker self-reported snapshots, namespaced per worker.
+    for (const auto& [name, ws] : worker_snaps) {
+      snap.merge(ws.prefixed("worker." + metric_safe(name) + "."));
+    }
+    return snap;
   }
 
   void requeue(std::size_t first, std::size_t last) {
@@ -342,6 +416,15 @@ struct coordinator::impl {
     if (m.type == "ready") {
       peer.idle = true;
     } else if (m.type == "heartbeat") {
+      if (!m.body.empty()) {
+        // Piggybacked "bsched-telemetry v1" snapshot; a malformed body
+        // is counted, not fatal (old workers send empty bodies).
+        try {
+          worker_snaps[peer.name] = obs::decode_telemetry_str(m.body);
+        } catch (const error&) {
+          ++telemetry_decode_errors;
+        }
+      }
       lease_state* ls = resolve(fd, m);
       if (ls == nullptr) return;  // stale — expired or reassigned
       const std::size_t done = static_cast<std::size_t>(m.u64("done"));
@@ -381,6 +464,7 @@ struct coordinator::impl {
                       ") but the lease is [" + std::to_string(ls->first) +
                       ", " + std::to_string(ls->last) + ")");
           merger.add(std::move(part));
+          accepted_items[peer.name] += ls->last - ls->first;
           ok = true;
         } catch (const error& e) {
           why = e.what();
@@ -411,16 +495,21 @@ struct coordinator::impl {
   }
 
   dist::shard_aggregate run() {
-    const auto start = clock::now();
+    const auto start = clk->now();
+    started = start;
     const bool bounded = opts.deadline_s > 0;
     const auto hard_deadline =
         start + std::chrono::milliseconds(
                     static_cast<long long>(opts.deadline_s * 1000.0));
+    const auto telemetry_step = std::chrono::milliseconds(
+        static_cast<long long>(std::max(0.001, opts.telemetry_interval_s) *
+                               1000.0));
+    auto next_telemetry = start + telemetry_step;
     log("serving sweep of " + std::to_string(total_items) + " items on port " +
         std::to_string(lst.port()) + " (lease " + std::to_string(lease_items) +
         " items, chunk " + std::to_string(opts.chunk_items) + ")");
     while (!merger.complete(total_items)) {
-      const auto now = clock::now();
+      const auto now = clk->now();
       if (bounded && now >= hard_deadline) {
         throw error("svc: coordinator deadline (" +
                     std::to_string(opts.deadline_s) + " s) elapsed with " +
@@ -431,18 +520,23 @@ struct coordinator::impl {
       grant_leases(now);
       propose_steal();
       emit_progress();
+      if (opts.on_telemetry && now >= next_telemetry) {
+        opts.on_telemetry(telemetry());
+        next_telemetry = now + telemetry_step;
+      }
       if (merger.complete(total_items)) break;
 
       // Sleep until the next lease deadline (or a coarse tick so new
       // deadlines/steals are considered), waking early on any traffic.
       auto wake = now + std::chrono::milliseconds(200);
       if (bounded) wake = std::min(wake, hard_deadline);
+      if (opts.on_telemetry) wake = std::min(wake, next_telemetry);
       for (const auto& [id, ls] : active) {
         (void)id;
         wake = std::min(wake, ls.deadline);
       }
       const auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
-          wake - clock::now());
+          wake - clk->now());
       const int timeout_ms =
           wait.count() > 0 ? static_cast<int>(wait.count()) : 0;
 
@@ -467,7 +561,7 @@ struct coordinator::impl {
         const int fd = peer.conn.fd();
         peers.emplace(fd, std::move(peer));
       }
-      const auto after = clock::now();
+      const auto after = clk->now();
       for (std::size_t i = 1; i < fds.size(); ++i) {
         if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
         const int fd = fd_of[i - 1];
@@ -491,6 +585,7 @@ struct coordinator::impl {
     }
 
     emit_progress();
+    if (opts.on_telemetry) opts.on_telemetry(telemetry());
     net::message bye = net::make("shutdown");
     bye.fields["reason"] = "complete";
     for (auto& [fd, peer] : peers) {
@@ -520,5 +615,7 @@ dist::shard_aggregate coordinator::run() { return impl_->run(); }
 const coordinator_counters& coordinator::counters() const noexcept {
   return impl_->counters;
 }
+
+obs::snapshot coordinator::telemetry() const { return impl_->telemetry(); }
 
 }  // namespace bsched::svc

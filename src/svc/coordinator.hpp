@@ -44,6 +44,8 @@
 
 #include "api/sweep.hpp"
 #include "dist/shard.hpp"
+#include "obs/metrics.hpp"
+#include "util/clock.hpp"
 
 namespace bsched::svc {
 
@@ -55,6 +57,9 @@ struct progress {
   std::size_t pending_leases = 0;
   std::size_t active_leases = 0;
   std::size_t workers = 0;  ///< Currently connected workers.
+  /// Monotonic seconds since run() started (coordinator_options::clock),
+  /// so progress consumers stop re-deriving their own chrono math.
+  double uptime_s = 0;
 };
 
 struct coordinator_options {
@@ -91,6 +96,15 @@ struct coordinator_options {
   std::function<void(const progress&)> on_progress;
   /// Optional human-readable event log (lease grants, expiries, trims).
   std::ostream* log = nullptr;
+  /// Monotonic time source for lease deadlines, uptime and the telemetry
+  /// cadence; null = util::monotonic_clock::system(). Tests inject a
+  /// util::manual_clock to force expiries without sleeping.
+  const util::monotonic_clock* clock = nullptr;
+  /// Invoked (from run()'s thread) with the fleet-wide telemetry view
+  /// every telemetry_interval_s and once on completion — what
+  /// `sweep_serve --metrics-out` encodes to its exposition file.
+  std::function<void(const obs::snapshot&)> on_telemetry;
+  double telemetry_interval_s = 1.0;
 };
 
 /// Accounting of one coordinator run, for tests and operators.
@@ -125,6 +139,13 @@ class coordinator {
 
   /// Post-run accounting (valid after run() returns or throws).
   [[nodiscard]] const coordinator_counters& counters() const noexcept;
+
+  /// The fleet-wide telemetry view: coordinator counters/gauges, the
+  /// coordinator's own per-worker accepted-item accounting
+  /// (svc.worker.<name>.items_total — these sum exactly to the folded
+  /// item count), and each worker's last heartbeat-piggybacked snapshot
+  /// merged in under "worker.<name>.". Valid during and after run().
+  [[nodiscard]] obs::snapshot telemetry() const;
 
  private:
   struct impl;

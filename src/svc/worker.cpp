@@ -1,6 +1,7 @@
 #include "svc/worker.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -9,6 +10,8 @@
 #include "dist/shard.hpp"
 #include "net/message.hpp"
 #include "net/socket.hpp"
+#include "obs/obs.hpp"
+#include "obs/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace bsched::svc {
@@ -22,6 +25,7 @@ struct session_ctx {
   int io_timeout_ms = 0;
   std::string name;
   std::ostream* log_stream = nullptr;
+  const util::monotonic_clock* clk = nullptr;
 
   void log(const std::string& line) const {
     if (log_stream != nullptr) {
@@ -64,14 +68,24 @@ bool run_lease(const api::engine& engine, session_ctx& ctx, dist::shard& sh,
   while (done < last) {
     sh.first = done;
     sh.last = std::min(done + ctx.chunk, last);
+    const auto chunk_start = ctx.clk->now();
     merger.add(dist::run_shard(engine, sh, n_threads));
+    BSCHED_HISTOGRAM_OBSERVE(
+        "svc.worker.chunk_seconds",
+        std::chrono::duration<double>(ctx.clk->now() - chunk_start).count(),
+        0.001, 0.01, 0.1, 1.0, 10.0, 60.0);
+    BSCHED_COUNTER_ADD("svc.worker.items_total", sh.last - done);
     report.items += sh.last - done;
     done = sh.last;
 
+    // Heartbeats carry the worker's own metrics snapshot so the
+    // coordinator can fold a fleet-wide telemetry view; the body is
+    // advisory and an old coordinator simply ignores it.
     net::message hb = net::make("heartbeat");
     hb.fields["lease"] = std::to_string(id);
     hb.fields["epoch"] = std::to_string(epoch);
     hb.fields["done"] = std::to_string(done);
+    hb.body = obs::encode_telemetry_str(obs::registry::global().scrape());
     ctx.send(std::move(hb));
 
     // Drain whatever the coordinator pushed meanwhile — work-steal
@@ -151,6 +165,8 @@ worker_report run_worker(const api::engine& engine,
   ctx.io_timeout_ms = opts.io_timeout_ms;
   ctx.name = opts.name;
   ctx.log_stream = opts.log;
+  ctx.clk = opts.clock != nullptr ? opts.clock
+                                  : &util::monotonic_clock::system();
 
   net::message hello = net::make("hello");
   hello.fields["proto"] = std::to_string(net::protocol_version);

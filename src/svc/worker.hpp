@@ -19,6 +19,7 @@
 #include <string>
 
 #include "api/engine.hpp"
+#include "util/clock.hpp"
 
 namespace bsched::svc {
 
@@ -32,6 +33,10 @@ struct worker_options {
   /// sweep, or an ack) before the worker gives up on the coordinator.
   int io_timeout_ms = 120000;
   std::ostream* log = nullptr;
+  /// Monotonic time source for chunk timing (the
+  /// svc.worker.chunk_seconds histogram); null =
+  /// util::monotonic_clock::system().
+  const util::monotonic_clock* clock = nullptr;
 };
 
 /// What one worker session did, for logs and tests.

@@ -8,10 +8,17 @@
 //                   [--workers-expected N] [--lease-timeout S]
 //                   [--lease-items K] [--chunk C] [--deadline S]
 //                   [--csv FILE] [--agg FILE] [--no-steal] [--quiet]
+//                   [--metrics-out FILE] [--metrics-interval MS]
 //
 // --agg writes the merged aggregate in dist::codec form, so
 // `sweep_merge --expect ref.csv served.agg` re-checks the service run
 // against a single-process reference — the CI crash-recovery smoke.
+//
+// --metrics-out rewrites FILE with the fleet-wide "bsched-telemetry v1"
+// exposition (coordinator counters/gauges, per-worker accepted-item
+// totals, each worker's heartbeat-piggybacked snapshot) every
+// --metrics-interval milliseconds (default 1000) and once on
+// completion; `obs_report --metrics FILE` renders it as a table.
 //
 // --port 0 (the default) binds an ephemeral port; --port-file writes the
 // bound port as a line of text so scripts can discover it. --deadline is
@@ -25,6 +32,7 @@
 
 #include "dist/codec.hpp"
 #include "dist/shard.hpp"
+#include "obs/telemetry.hpp"
 #include "svc/coordinator.hpp"
 #include "sweep_common.hpp"
 #include "util/error.hpp"
@@ -52,6 +60,8 @@ int main(int argc, char** argv) {
   std::string csv_path;
   std::string agg_path;
   std::string port_file;
+  std::string metrics_path;
+  std::size_t metrics_interval_ms = 1000;
   svc::coordinator_options opts;
   opts.lease_timeout_s = 30.0;
   bool quiet = false;
@@ -93,13 +103,18 @@ int main(int argc, char** argv) {
       opts.steal = false;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--metrics-out") {
+      metrics_path = value();
+    } else if (arg == "--metrics-interval") {
+      metrics_interval_ms = tools::cli_number(arg, value());
     } else {
       std::fprintf(stderr,
                    "usage: sweep_serve [--replications R] [--port P] "
                    "[--port-file PATH] [--workers-expected N] "
                    "[--lease-timeout S] [--lease-items K] [--chunk C] "
                    "[--deadline S] [--csv FILE] [--agg FILE] [--no-steal] "
-                   "[--quiet]\n");
+                   "[--quiet] [--metrics-out FILE] [--metrics-interval MS]"
+                   "\n");
       return 2;
     }
   }
@@ -117,8 +132,28 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (metrics_interval_ms == 0) {
+    std::fprintf(stderr, "sweep_serve: --metrics-interval must be positive\n");
+    return 2;
+  }
+
   try {
     if (!quiet) opts.log = &std::cerr;
+    if (!metrics_path.empty()) {
+      opts.telemetry_interval_s =
+          static_cast<double>(metrics_interval_ms) / 1000.0;
+      opts.on_telemetry = [metrics_path](const obs::snapshot& snap) {
+        // Rewrite in place each emission; readers see the latest
+        // complete exposition (writes are small; last write wins).
+        std::ofstream out{metrics_path, std::ios::trunc};
+        if (!out.good()) {
+          std::fprintf(stderr, "sweep_serve: cannot write %s\n",
+                       metrics_path.c_str());
+          return;
+        }
+        obs::encode_telemetry(snap, out);
+      };
+    }
     svc::coordinator coord{tools::demo_sweep(replications), std::move(opts)};
     std::fprintf(stderr, "sweep_serve: listening on port %u\n",
                  static_cast<unsigned>(coord.port()));
